@@ -1,0 +1,49 @@
+/// Reproduces paper Fig. 10 — SpMM performance (GFLOPS, from the paper's
+/// nominal 2*nnz*N FLOP count) on the three GNN citation graphs for
+/// GraphBLAST, cuSPARSE and GE-SpMM at N in {128, 256, 512}, on both
+/// devices.
+///
+/// Paper: GE-SpMM outperforms cuSPARSE by up to 1.62x on these graphs.
+
+#include <cstdio>
+
+#include "bench_common/bench_common.hpp"
+#include "kernels/registry.hpp"
+#include "sparse/datasets.hpp"
+
+using namespace gespmm;
+using bench::Table;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  const auto suite = sparse::citation_suite();
+
+  double best_vs_cusparse = 0.0;
+  for (const auto& dev : opt.devices) {
+    for (sparse::index_t n : {128, 256, 512}) {
+      bench::banner("Fig. 10: performance on GNN graphs (device " + dev.name +
+                    ", N=" + std::to_string(n) + ", GFLOPS)");
+      Table table({"graph", "GraphBLAST", "cuSPARSE", "GE-SpMM", "GE/cuSPARSE"});
+      for (const auto& d : suite) {
+        kernels::SpmmRunOptions ro;
+        ro.device = dev;
+        ro.sample = gpusim::SamplePolicy::sampled(opt.sample_blocks * 2);
+        const double flops = 2.0 * static_cast<double>(d.adj.nnz()) * n;
+        kernels::SpmmProblem p(d.adj, n);
+        kernels::SpmmProblem pc(d.adj, n, kernels::Layout::ColMajor);
+        const auto gb = kernels::run_spmm(kernels::SpmmAlgo::RowSplitGB, p, ro);
+        const auto cus = kernels::run_spmm(kernels::SpmmAlgo::Csrmm2, pc, ro);
+        const auto ge = kernels::run_spmm(kernels::SpmmAlgo::GeSpMM, p, ro);
+        const double ratio = cus.time_ms() / ge.time_ms();
+        best_vs_cusparse = std::max(best_vs_cusparse, ratio);
+        table.add_row({d.name, Table::fmt(gb.gflops(flops), 1),
+                       Table::fmt(cus.gflops(flops), 1),
+                       Table::fmt(ge.gflops(flops), 1), Table::fmt(ratio, 2)});
+      }
+      table.print();
+    }
+  }
+  std::printf("\nbest GE/cuSPARSE on citation graphs: %.2fx (paper: up to 1.62x)\n",
+              best_vs_cusparse);
+  return 0;
+}

@@ -1,0 +1,82 @@
+/// google-benchmark micro-suite: wall-clock cost of the *simulator* and of
+/// the host compute path on the citation graphs. This measures this
+/// repository's own performance (how fast the reproduction runs), not the
+/// modelled GPU times — useful for keeping the simulation affordable.
+
+#include <benchmark/benchmark.h>
+
+#include "core/gespmm.hpp"
+#include "kernels/spmm_host.hpp"
+#include "sparse/datasets.hpp"
+
+using namespace gespmm;
+
+namespace {
+
+const sparse::Csr& cora_graph() {
+  static const sparse::Csr g = sparse::cora().adj;
+  return g;
+}
+const sparse::Csr& pubmed_graph() {
+  static const sparse::Csr g = sparse::pubmed().adj;
+  return g;
+}
+
+void BM_HostSpmm(benchmark::State& state) {
+  const auto& g = state.range(0) == 0 ? cora_graph() : pubmed_graph();
+  const auto n = static_cast<sparse::index_t>(state.range(1));
+  DenseMatrix b(g.cols, n), c(g.rows, n);
+  kernels::fill_random(b, 1);
+  for (auto _ : state) {
+    spmm(g, b, c);
+    benchmark::DoNotOptimize(c.device().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.nnz() * n);
+}
+BENCHMARK(BM_HostSpmm)->Args({0, 64})->Args({0, 256})->Args({1, 64})->Args({1, 256});
+
+void BM_HostSpmmLikeMax(benchmark::State& state) {
+  const auto& g = pubmed_graph();
+  const auto n = static_cast<sparse::index_t>(state.range(0));
+  DenseMatrix b(g.cols, n), c(g.rows, n);
+  kernels::fill_random(b, 2);
+  for (auto _ : state) {
+    spmm(g, b, c, ReduceKind::Max);
+    benchmark::DoNotOptimize(c.device().data());
+  }
+}
+BENCHMARK(BM_HostSpmmLikeMax)->Arg(64)->Arg(256);
+
+void BM_SimulatedGeSpmmFull(benchmark::State& state) {
+  const auto& g = cora_graph();
+  const auto n = static_cast<sparse::index_t>(state.range(0));
+  for (auto _ : state) {
+    auto prof = profile_spmm_shape(g, n);
+    benchmark::DoNotOptimize(prof.result.metrics.gld_transactions);
+  }
+}
+BENCHMARK(BM_SimulatedGeSpmmFull)->Arg(32)->Arg(128);
+
+void BM_SimulatedGeSpmmSampled(benchmark::State& state) {
+  const auto& g = pubmed_graph();
+  ProfileOptions opt;
+  opt.sample = gpusim::SamplePolicy::sampled(static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    auto prof = profile_spmm_shape(g, 128, opt);
+    benchmark::DoNotOptimize(prof.result.metrics.gld_transactions);
+  }
+}
+BENCHMARK(BM_SimulatedGeSpmmSampled)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_AsptPreprocess(benchmark::State& state) {
+  const auto& g = pubmed_graph();
+  for (auto _ : state) {
+    auto build = sparse::build_aspt(g);
+    benchmark::DoNotOptimize(build.matrix.heavy_nnz);
+  }
+}
+BENCHMARK(BM_AsptPreprocess);
+
+}  // namespace
+
+BENCHMARK_MAIN();

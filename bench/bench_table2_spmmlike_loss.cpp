@@ -1,0 +1,46 @@
+/// Reproduces paper Table II — the performance loss of DGL's SpMM-like
+/// fallback against its cuSPARSE SpMM, measured on the same aggregation
+/// step: GraphSAGE-GCN aggregates with a standard SpMM (csrmm2), while
+/// GraphSAGE-pool needs a max-reduction SpMM-like that cuSPARSE does not
+/// provide, so DGL falls back to its own kernel.
+///
+/// Paper reference (GTX 1080Ti): Cora 8.8%, Citeseer 89.2%, Pubmed 139.1%
+/// loss — the motivation for a general SpMM-like kernel.
+
+#include <cstdio>
+
+#include "bench_common/bench_common.hpp"
+#include "gnn/aggregation.hpp"
+#include "sparse/datasets.hpp"
+
+using namespace gespmm;
+using bench::Table;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  const auto dev = gpusim::gtx1080ti();
+  (void)opt;
+
+  bench::banner("Table II: SpMM-like perf. loss vs SpMM in the DGL stack (" +
+                dev.name + ", aggregation step of GraphSAGE, N=16)");
+  Table table({"graph", "SpMM (csrmm2) ms", "SpMM-like (fallback) ms", "perf. loss"});
+
+  for (const auto& data : sparse::citation_suite()) {
+    const auto operand = sparse::row_normalize(data.adj);
+    gnn::GnnGraph graph(operand, dev);
+    // DGL's default GraphSAGE example uses hidden width 16.
+    const sparse::index_t n = 16;
+    const double spmm = graph.aggregation_time_ms(gnn::AggregatorBackend::DglCusparse,
+                                                  kernels::ReduceKind::Sum, n, false);
+    const double like = graph.aggregation_time_ms(gnn::AggregatorBackend::DglFallback,
+                                                  kernels::ReduceKind::Max, n, false);
+    table.add_row({data.name, Table::fmt(spmm, 4), Table::fmt(like, 4),
+                   Table::fmt(100.0 * (like - spmm) / spmm, 1) + "%"});
+  }
+  table.print();
+  std::printf(
+      "\npaper: 8.8%% (cora), 89.2%% (citeseer), 139.1%% (pubmed) — the loss grows\n"
+      "with graph size because the generic fallback's global read-modify-write\n"
+      "traffic scales with nnz x N while tiny graphs stay launch-bound.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// Reproduces paper Table V — "Effects of CRC": global load transactions
+/// (GLT) and gld_efficiency with and without Coalesced Row Caching on the
+/// three synthetic uniform random matrices, N = 512.
+///
+/// Paper reference values (GTX 1080Ti):
+///   M=16K/nnz=160K:  GLT 1.34e8 -> 0.55e8, efficiency 68.95% -> 92.40%
+///   M=65K/nnz=650K:  GLT 5.36e8 -> 2.18e8, efficiency 68.95% -> 92.40%
+///   M=262K/nnz=2.6M: GLT 21.47e8 -> 8.73e8, efficiency 68.95% -> 92.39%
+/// The profiling machine is Machine 1 only (nvprof limitation noted in the
+/// paper); we mirror that.
+
+#include <cstdio>
+
+#include "bench_common/bench_common.hpp"
+#include "kernels/registry.hpp"
+#include "sparse/datasets.hpp"
+
+using namespace gespmm;
+using bench::Table;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  const auto dev = gpusim::gtx1080ti();
+  const sparse::index_t n = 512;
+
+  bench::banner("Table V: effects of CRC (device " + dev.name + ", N=512)");
+  Table table({"matrix", "method", "GLT(x32B)", "GLT_effi"});
+
+  struct Spec {
+    const char* name;
+    sparse::Csr matrix;
+  };
+  std::vector<Spec> specs;
+  specs.push_back({"M=16K nnz=160K", sparse::profile_matrix_16k()});
+  specs.push_back({"M=65K nnz=650K", sparse::profile_matrix_65k()});
+  specs.push_back({"M=262K nnz=2.6M", sparse::profile_matrix_262k()});
+
+  for (auto& s : specs) {
+    kernels::SpmmRunOptions ro;
+    ro.device = dev;
+    ro.sample = gpusim::SamplePolicy::sampled(opt.sample_blocks * 4);
+    kernels::SpmmProblem p(s.matrix, n);
+    const auto naive = kernels::run_spmm(kernels::SpmmAlgo::Naive, p, ro);
+    const auto crc = kernels::run_spmm(kernels::SpmmAlgo::Crc, p, ro);
+    char glt[64];
+    std::snprintf(glt, sizeof(glt), "%.2fe+8",
+                  static_cast<double>(naive.metrics.gld_transactions) / 1e8);
+    table.add_row({s.name, "w/o CRC", glt,
+                   Table::fmt(100.0 * naive.metrics.gld_efficiency()) + "%"});
+    std::snprintf(glt, sizeof(glt), "%.2fe+8",
+                  static_cast<double>(crc.metrics.gld_transactions) / 1e8);
+    table.add_row({"", "w/ CRC", glt,
+                   Table::fmt(100.0 * crc.metrics.gld_efficiency()) + "%"});
+  }
+  table.print();
+  std::printf(
+      "\npaper: GLT drops ~2.4x and efficiency rises 68.95%% -> 92.40%% with CRC;\n"
+      "reproduced shape: substantial GLT reduction with matching efficiency jump.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// One-shot inference: the scenario that motivates GE-SpMM's
+/// no-preprocessing design (paper Section II-B). A trained GNN is applied
+/// once to a *new* graph — e.g. predicting properties of a new protein
+/// graph, or a freshly sampled training batch. Preprocess-based kernels
+/// (ASpT here) must rebuild their format for every new graph, and that
+/// cost cannot be amortized; CSR-native GE-SpMM starts immediately.
+///
+/// Run: ./build/examples/inference_oneshot
+
+#include <cstdio>
+
+#include "core/plan.hpp"
+#include "kernels/registry.hpp"
+#include "kernels/spmm_aspt.hpp"
+#include "sparse/generators.hpp"
+
+using namespace gespmm;
+
+int main() {
+  const auto dev = gpusim::gtx1080ti();
+  std::printf("one-shot inference on freshly sampled graphs (device %s)\n\n",
+              dev.name.c_str());
+  std::printf("%-10s %-12s %-14s %-14s %-12s %s\n", "graph", "ge-spmm(ms)",
+              "aspt-kern(ms)", "aspt-pre(ms)", "aspt-total", "winner");
+
+  double ge_total = 0.0, aspt_total = 0.0;
+  for (int batch = 0; batch < 6; ++batch) {
+    // Every batch is a *different* sampled subgraph — as in GraphSAGE's
+    // sampled batch training or inference on unseen graphs.
+    const Csr g = sparse::rmat(12, 10.0, 0.5, 0.22, 0.22,
+                               0xBA7C4 + static_cast<std::uint64_t>(batch));
+    const sparse::index_t n = 128;
+
+    kernels::SpmmRunOptions ro;
+    ro.device = dev;
+    ro.sample = gpusim::SamplePolicy::sampled(2048);
+
+    kernels::SpmmProblem p_ge(g, n);
+    const double ge = kernels::run_spmm(kernels::SpmmAlgo::GeSpMM, p_ge, ro).time_ms();
+
+    const auto build = sparse::build_aspt(g);
+    kernels::AsptDevice aspt_dev(build.matrix);
+    kernels::SpmmProblem p_aspt(g, n);
+    const double aspt_kernel = kernels::run_spmm_aspt(aspt_dev, p_aspt, ro).time_ms();
+    const double aspt_pre = kernels::aspt_preprocess_time_ms(build, dev);
+
+    ge_total += ge;
+    aspt_total += aspt_kernel + aspt_pre;
+    std::printf("batch %-4d %-12.4f %-14.4f %-14.4f %-12.4f %s\n", batch, ge,
+                aspt_kernel, aspt_pre, aspt_kernel + aspt_pre,
+                ge < aspt_kernel + aspt_pre ? "ge-spmm" : "aspt");
+  }
+  std::printf("\ntotals: ge-spmm %.4f ms vs aspt-with-preprocess %.4f ms (%.2fx)\n",
+              ge_total, aspt_total, aspt_total / ge_total);
+  std::printf(
+      "the kernel-only race may be close, but preprocessing per new graph makes\n"
+      "preprocess-based formats uncompetitive for inference and sampled batches\n"
+      "— the compatibility argument of the paper's introduction.\n");
+  return 0;
+}

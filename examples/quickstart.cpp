@@ -1,0 +1,72 @@
+/// Quickstart: the 60-second tour of the GE-SpMM library.
+///
+/// 1. Build a sparse graph in CSR (the format GNN frameworks already use —
+///    no conversion, no preprocessing).
+/// 2. Multiply it with a dense feature matrix: standard SpMM and the
+///    generalized SpMM-like (max-pooling) in one call each.
+/// 3. Profile the same operation on the simulated GTX 1080Ti and RTX 2080:
+///    the adaptive kernel choice, nvprof-style metrics and modelled time.
+///
+/// Build & run:  cmake -B build -G Ninja && cmake --build build
+///               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/gespmm.hpp"
+#include "sparse/generators.hpp"
+
+using namespace gespmm;
+
+int main() {
+  // A small social-network-like graph: 4096 vertices, ~32K edges.
+  const Csr graph = sparse::rmat(/*scale=*/12, /*edge_factor=*/8.0, 0.5, 0.2, 0.2,
+                                 /*seed=*/42);
+  std::printf("graph: %d vertices, %d edges, avg degree %.2f\n", graph.rows,
+              graph.nnz(), graph.avg_row_nnz());
+
+  // Feature matrix: one length-64 feature vector per vertex.
+  const index_t n = 64;
+  DenseMatrix features(graph.cols, n);
+  kernels::fill_random(features, /*seed=*/7);
+
+  // --- Standard SpMM: out[v] = sum over neighbours u of w(v,u) * feat[u].
+  DenseMatrix aggregated(graph.rows, n);
+  spmm(graph, features, aggregated);
+  std::printf("spmm done: out[0][0..3] = %.3f %.3f %.3f %.3f\n", aggregated.at(0, 0),
+              aggregated.at(0, 1), aggregated.at(0, 2), aggregated.at(0, 3));
+
+  // --- SpMM-like with a built-in reduction (GraphSAGE-style max pooling).
+  DenseMatrix pooled(graph.rows, n);
+  spmm(graph, features, pooled, ReduceKind::Max);
+  std::printf("spmm-like (max) done: out[0][0..3] = %.3f %.3f %.3f %.3f\n",
+              pooled.at(0, 0), pooled.at(0, 1), pooled.at(0, 2), pooled.at(0, 3));
+
+  // --- SpMM-like with a *user-defined* reduction (paper Section IV-A):
+  // count how many neighbour contributions exceed a threshold.
+  CustomReduceOp count_above;
+  count_above.init = [] { return 0.0f; };
+  count_above.reduce = [](value_t acc, value_t x) {
+    return acc + (x > 0.5f ? 1.0f : 0.0f);
+  };
+  DenseMatrix counts(graph.rows, n);
+  spmm_like(graph, features, counts, count_above);
+  std::printf("custom spmm-like done: row 0 counts = %.0f %.0f %.0f %.0f\n",
+              counts.at(0, 0), counts.at(0, 1), counts.at(0, 2), counts.at(0, 3));
+
+  // --- Profile the kernel on both simulated devices.
+  for (const char* name : {"gtx1080ti", "rtx2080"}) {
+    ProfileOptions opt;
+    opt.device = gpusim::device_by_name(name);
+    DenseMatrix out(graph.rows, n);
+    const auto prof = profile_spmm(graph, features, out, opt);
+    std::printf(
+        "[%s] kernel=%s  time=%.4f ms  %.1f GFLOPS  gld_transactions=%llu  "
+        "gld_efficiency=%.1f%%  occupancy=%.2f\n",
+        name, kernels::algo_name(prof.algo), prof.time_ms(),
+        prof.gflops(graph.nnz(), n),
+        static_cast<unsigned long long>(prof.result.metrics.gld_transactions),
+        100.0 * prof.result.metrics.gld_efficiency(), prof.result.achieved_occupancy);
+  }
+  std::printf("quickstart finished.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "bench_common/bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace gespmm::bench {
+
+Options Options::parse(int argc, char** argv) {
+  Options opt;
+  std::string device = "both";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value_of("--device=")) {
+      device = v;
+    } else if (const char* v = value_of("--snap-scale=")) {
+      opt.snap_scale = std::stod(v);
+    } else if (arg == "--full") {
+      opt.snap_scale = 1.0;
+    } else if (const char* v = value_of("--max-graphs=")) {
+      opt.max_graphs = std::stoi(v);
+    } else if (const char* v = value_of("--sample-blocks=")) {
+      opt.sample_blocks = static_cast<std::uint64_t>(std::stoll(v));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "options: --device=gtx1080ti|rtx2080|both --snap-scale=F --full "
+          "--max-graphs=N --sample-blocks=N\n");
+      std::exit(0);
+    } else {
+      throw std::invalid_argument("unknown bench option: " + arg);
+    }
+  }
+  if (device == "both") {
+    opt.devices = {gpusim::gtx1080ti(), gpusim::rtx2080()};
+  } else {
+    opt.devices = {gpusim::device_by_name(device)};
+  }
+  return opt;
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double logsum = 0.0;
+  for (double x : xs) logsum += std::log(std::max(x, 1e-300));
+  return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void Table::print() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+void banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace gespmm::bench

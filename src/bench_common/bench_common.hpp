@@ -1,0 +1,51 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared utilities for the table/figure reproduction benches: aligned
+/// table printing, geometric means, and CLI options (device selection,
+/// SNAP-suite scale, quick mode).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+
+namespace gespmm::bench {
+
+/// Command-line options common to all benches.
+///   --device=gtx1080ti|rtx2080|both   (default both)
+///   --snap-scale=<float>              suite size factor (default 0.25)
+///   --full                            shorthand for --snap-scale=1.0
+///   --max-graphs=<int>                limit the SNAP sweep length
+///   --sample-blocks=<int>             simulator block-sampling budget
+struct Options {
+  std::vector<gpusim::DeviceSpec> devices;
+  double snap_scale = 0.25;
+  int max_graphs = 64;
+  std::uint64_t sample_blocks = 1024;
+
+  static Options parse(int argc, char** argv);
+};
+
+/// Geometric mean (the paper: "All average results are based on the
+/// geometric mean").
+double geomean(std::span<const double> xs);
+
+/// Simple fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner for bench output.
+void banner(const std::string& title);
+
+}  // namespace gespmm::bench

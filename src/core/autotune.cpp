@@ -1,0 +1,39 @@
+#include "core/autotune.hpp"
+
+#include "kernels/spmm_problem.hpp"
+
+namespace gespmm {
+
+AutotuneOptions::AutotuneOptions() : device(gpusim::gtx1080ti()) {}
+
+AutotuneResult autotune_spmm(const Csr& a, index_t n, const AutotuneOptions& opt) {
+  AutotuneResult res;
+  res.default_choice = kernels::select_gespmm_algo(n);
+
+  std::vector<SpmmAlgo> candidates = {SpmmAlgo::Crc};
+  if (n > gpusim::kWarpSize) {
+    candidates.push_back(SpmmAlgo::CrcCwm2);
+    candidates.push_back(SpmmAlgo::CrcCwm4);
+    candidates.push_back(SpmmAlgo::CrcCwm8);
+  }
+
+  kernels::SpmmRunOptions ro;
+  ro.device = opt.device;
+  ro.sample = gpusim::SamplePolicy::sampled(opt.sample_blocks);
+
+  res.best = candidates.front();
+  double best_ms = std::numeric_limits<double>::infinity();
+  for (auto algo : candidates) {
+    kernels::SpmmProblem p(a, n);
+    const double ms = kernels::run_spmm(algo, p, ro).time_ms();
+    res.times_ms[algo] = ms;
+    if (ms < best_ms) {
+      best_ms = ms;
+      res.best = algo;
+    }
+  }
+  res.gain_over_default = res.times_ms.at(res.default_choice) / best_ms;
+  return res;
+}
+
+}  // namespace gespmm

@@ -1,0 +1,42 @@
+#pragma once
+/// \file autotune.hpp
+/// Per-matrix coarsening-factor autotuning.
+///
+/// The paper (Section V-B2) considers tuning CF per matrix, finds that an
+/// analytical model "could be difficult due to the entangled effects of
+/// hardware parameters and sparse matrix properties", observes that the
+/// fixed choice CF=2 loses >15% on only 4-and-1 of 64 matrices, and ships
+/// CF=2 untuned. This module provides the tuner the paper decided against,
+/// so that decision can be re-evaluated quantitatively: candidates are
+/// simulated with block sampling (cheap) and the best CF is returned
+/// together with the margin over the default.
+
+#include <map>
+
+#include "core/gespmm.hpp"
+
+namespace gespmm {
+
+struct AutotuneOptions {
+  gpusim::DeviceSpec device;
+  /// Sampling budget per candidate simulation.
+  std::uint64_t sample_blocks = 512;
+  AutotuneOptions();  // defaults to gtx1080ti
+};
+
+struct AutotuneResult {
+  /// Best candidate found (one of Crc, CrcCwm2, CrcCwm4, CrcCwm8).
+  SpmmAlgo best;
+  /// What the paper's fixed dispatch would pick for this N.
+  SpmmAlgo default_choice;
+  /// Modelled time per candidate (ms).
+  std::map<SpmmAlgo, double> times_ms;
+  /// time(default) / time(best) — 1.0 means the fixed rule was optimal.
+  double gain_over_default = 1.0;
+};
+
+/// Tune the kernel choice for (a, n) on a device.
+AutotuneResult autotune_spmm(const Csr& a, index_t n,
+                             const AutotuneOptions& opt = AutotuneOptions());
+
+}  // namespace gespmm

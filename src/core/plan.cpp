@@ -1,0 +1,36 @@
+#include "core/plan.hpp"
+
+#include "kernels/spmm_host.hpp"
+
+namespace gespmm {
+
+SpmmPlan::SpmmPlan(Csr a, gpusim::DeviceSpec device)
+    : a_(std::move(a)), device_(std::move(device)) {
+  a_.validate();
+}
+
+void SpmmPlan::run(const DenseMatrix& b, DenseMatrix& c, ReduceKind reduce) const {
+  if (b.rows() != a_.cols || c.rows() != a_.rows || c.cols() != b.cols()) {
+    throw std::invalid_argument("SpmmPlan::run: shape mismatch");
+  }
+  kernels::spmm_host_parallel(a_, b, c, reduce);
+  accumulated_ms_ += time_ms(b.cols(), reduce);
+}
+
+double SpmmPlan::time_ms(index_t n, ReduceKind reduce,
+                         std::uint64_t sample_blocks) const {
+  const auto key = std::make_pair(n, reduce);
+  if (auto it = profile_cache_.find(key); it != profile_cache_.end()) {
+    return it->second;
+  }
+  kernels::SpmmProblem p(a_, n);
+  kernels::SpmmRunOptions ro;
+  ro.device = device_;
+  ro.sample = gpusim::SamplePolicy::sampled(sample_blocks);
+  ro.reduce = reduce;
+  const double ms = kernels::run_spmm(algo_for(n), p, ro).time_ms();
+  profile_cache_[key] = ms;
+  return ms;
+}
+
+}  // namespace gespmm

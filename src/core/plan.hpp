@@ -1,0 +1,51 @@
+#pragma once
+/// \file plan.hpp
+/// SpmmPlan: upload a sparse operand once and run many SpMM(-like)
+/// operations against it — the pattern of GNN training, where the same
+/// graph multiplies a new dense matrix every layer and every iteration.
+///
+/// A plan is *not* preprocessing in the paper's (disqualifying) sense: the
+/// operand stays in plain CSR and constructing a plan moves no data beyond
+/// the upload any kernel needs; it only caches device buffers, the
+/// adaptive kernel choice per width, and simulated profiles.
+
+#include <map>
+#include <optional>
+
+#include "core/gespmm.hpp"
+#include "kernels/spmm_problem.hpp"
+
+namespace gespmm {
+
+class SpmmPlan {
+ public:
+  /// Upload `a`. The matrix is validated (throws on malformed CSR).
+  explicit SpmmPlan(Csr a, gpusim::DeviceSpec device = gpusim::gtx1080ti());
+
+  const Csr& matrix() const { return a_; }
+  const gpusim::DeviceSpec& device() const { return device_; }
+
+  /// Host-execute C = A (*) B. Shapes validated.
+  void run(const DenseMatrix& b, DenseMatrix& c,
+           ReduceKind reduce = ReduceKind::Sum) const;
+
+  /// Modelled device time for width n with the adaptive kernel; simulated
+  /// once per (n, reduce) and cached.
+  double time_ms(index_t n, ReduceKind reduce = ReduceKind::Sum,
+                 std::uint64_t sample_blocks = 1024) const;
+
+  /// The kernel the adaptive dispatch selects for width n.
+  SpmmAlgo algo_for(index_t n) const { return kernels::select_gespmm_algo(n); }
+
+  /// Total device time modelled so far through this plan (sum over run()
+  /// calls' shapes) — a convenience for framework integration.
+  double accumulated_time_ms() const { return accumulated_ms_; }
+
+ private:
+  Csr a_;
+  gpusim::DeviceSpec device_;
+  mutable std::map<std::pair<index_t, ReduceKind>, double> profile_cache_;
+  mutable double accumulated_ms_ = 0.0;
+};
+
+}  // namespace gespmm

@@ -1,0 +1,107 @@
+#pragma once
+/// \file autograd.hpp
+/// A small tape-based autograd engine. Each operator computes its value on
+/// the host and charges its device time to the OpProfiler (forward and
+/// backward alike), which is how the end-to-end benchmarks measure "CUDA
+/// time" the way the paper does with the PyTorch profiler.
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gnn/aggregation.hpp"
+#include "gnn/device_cost.hpp"
+#include "gnn/profiler.hpp"
+#include "gnn/tensor.hpp"
+
+namespace gespmm::gnn {
+
+struct Var {
+  Tensor value;
+  Tensor grad;
+  bool requires_grad = false;
+  /// Applies this node's chain rule, accumulating into parents' grads.
+  std::function<void()> backward_fn;
+
+  explicit Var(Tensor v, bool rg = false)
+      : value(std::move(v)), grad(value.rows(), value.cols()), requires_grad(rg) {}
+
+  void add_grad(const Tensor& g) {
+    for (std::size_t i = 0; i < grad.size(); ++i) grad.flat()[i] += g.flat()[i];
+  }
+  void zero_grad() { grad = Tensor(value.rows(), value.cols()); }
+};
+
+using VarPtr = std::shared_ptr<Var>;
+
+/// The training context: owns the tape, the profiler and the cost model.
+class Engine {
+ public:
+  explicit Engine(gpusim::DeviceSpec dev) : cost_(std::move(dev)) {}
+
+  OpProfiler& profiler() { return profiler_; }
+  const DeviceCost& cost() const { return cost_; }
+
+  /// Leaf without gradient (inputs / constants).
+  VarPtr input(Tensor v);
+  /// Leaf with gradient (trainable parameter) — also registered for the
+  /// optimizer.
+  VarPtr param(Tensor v);
+  std::span<const VarPtr> params() const { return params_; }
+
+  // --- operators ---
+  VarPtr matmul(const VarPtr& x, const VarPtr& w);
+  VarPtr add_bias(const VarPtr& x, const VarPtr& b);
+  VarPtr relu(const VarPtr& x);
+  VarPtr concat(const VarPtr& a, const VarPtr& b);
+  /// Inverted dropout (train-mode): zero with probability `p`, scale
+  /// survivors by 1/(1-p). Deterministic per (seed, call); the mask is
+  /// shared with the backward pass. DGL's GCN example applies dropout
+  /// before each graph convolution, and it contributes CUDA time to the
+  /// Table I denominator.
+  VarPtr dropout(const VarPtr& x, double p, std::uint64_t seed);
+  /// Graph aggregation through a framework backend (forward + backward
+  /// both priced as sparse ops).
+  VarPtr aggregate(const GnnGraph& g, const VarPtr& x, AggregatorBackend backend,
+                   ReduceKind reduce);
+
+  /// Log-softmax + NLL loss; seeds the backward pass. Returns loss and
+  /// accuracy over `labels`.
+  struct LossInfo {
+    double loss;
+    double accuracy;
+  };
+  LossInfo softmax_cross_entropy(const VarPtr& logits, std::span<const int> labels);
+
+  /// Reverse the tape, invoking each node's backward. Call after
+  /// softmax_cross_entropy.
+  void backward();
+
+  /// Clear tape and gradients (start of an iteration).
+  void zero_grad_and_tape();
+
+ private:
+  VarPtr track(VarPtr v);
+
+  DeviceCost cost_;
+  OpProfiler profiler_;
+  std::vector<VarPtr> tape_;
+  std::vector<VarPtr> params_;
+};
+
+/// Adam optimizer over the engine's parameters; charges Optimizer time.
+class Adam {
+ public:
+  Adam(Engine& eng, double lr = 1e-2, double beta1 = 0.9, double beta2 = 0.999,
+       double eps = 1e-8);
+  void step();
+
+ private:
+  Engine* eng_;
+  double lr_, beta1_, beta2_, eps_;
+  int t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace gespmm::gnn

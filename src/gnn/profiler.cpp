@@ -1,0 +1,69 @@
+#include "gnn/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gespmm::gnn {
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::Spmm: return "SpMM";
+    case OpKind::SpmmLike: return "SpMM-like";
+    case OpKind::Transpose: return "Transpose";
+    case OpKind::Gemm: return "GEMM";
+    case OpKind::Elementwise: return "Elementwise";
+    case OpKind::LossSoftmax: return "Loss/Softmax";
+    case OpKind::Optimizer: return "Optimizer";
+  }
+  return "?";
+}
+
+double OpProfiler::total_ms() const {
+  double t = 0.0;
+  for (const auto& [k, e] : entries_) t += e.total_ms;
+  return t;
+}
+
+double OpProfiler::total_ms(OpKind kind) const {
+  double t = 0.0;
+  for (const auto& [k, e] : entries_) {
+    if (k.first == kind) t += e.total_ms;
+  }
+  return t;
+}
+
+double OpProfiler::fraction(OpKind kind) const {
+  const double total = total_ms();
+  return total > 0.0 ? total_ms(kind) / total : 0.0;
+}
+
+std::vector<OpProfiler::Row> OpProfiler::rows() const {
+  std::vector<Row> out;
+  const double total = total_ms();
+  for (const auto& [k, e] : entries_) {
+    out.push_back({k.first, k.second, e.calls, e.total_ms,
+                   total > 0.0 ? 100.0 * e.total_ms / total : 0.0});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Row& a, const Row& b) { return a.total_ms > b.total_ms; });
+  return out;
+}
+
+std::string OpProfiler::report() const {
+  std::string s;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-14s %-28s %8s %12s %7s\n", "kind", "op", "calls",
+                "cuda_ms", "%");
+  s += buf;
+  for (const auto& r : rows()) {
+    std::snprintf(buf, sizeof(buf), "%-14s %-28s %8llu %12.4f %6.1f%%\n",
+                  op_kind_name(r.kind), r.name.c_str(),
+                  static_cast<unsigned long long>(r.calls), r.total_ms, r.percent);
+    s += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "total cuda time: %.4f ms\n", total_ms());
+  s += buf;
+  return s;
+}
+
+}  // namespace gespmm::gnn

@@ -1,0 +1,61 @@
+#pragma once
+/// \file profiler.hpp
+/// Per-operator CUDA-time accounting in the style of the PyTorch autograd
+/// profiler the paper uses ("Percentage of CUDA time, reported by PyTorch
+/// autograd profiler", Table I footnote).
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gespmm::gnn {
+
+enum class OpKind {
+  Spmm,        ///< sparse aggregation (standard sum)
+  SpmmLike,    ///< sparse aggregation with custom reduce (pooling)
+  Transpose,   ///< layout fixes (csrmm2 column-major output)
+  Gemm,        ///< dense matmul
+  Elementwise, ///< bias/ReLU/copies
+  LossSoftmax, ///< softmax + loss
+  Optimizer,   ///< Adam updates
+};
+
+const char* op_kind_name(OpKind k);
+
+/// Accumulates (kind, name) -> {calls, total_ms}.
+class OpProfiler {
+ public:
+  void record(OpKind kind, const std::string& name, double ms) {
+    auto& e = entries_[{kind, name}];
+    ++e.calls;
+    e.total_ms += ms;
+  }
+
+  void reset() { entries_.clear(); }
+
+  struct Row {
+    OpKind kind;
+    std::string name;
+    std::uint64_t calls;
+    double total_ms;
+    double percent;
+  };
+
+  double total_ms() const;
+  double total_ms(OpKind kind) const;
+  /// Fraction of total CUDA time spent in `kind` (Table I's metric).
+  double fraction(OpKind kind) const;
+  /// Rows sorted by descending total time, with percentages filled in.
+  std::vector<Row> rows() const;
+  /// Render a PyTorch-profiler-style table.
+  std::string report() const;
+
+ private:
+  struct Entry {
+    std::uint64_t calls = 0;
+    double total_ms = 0.0;
+  };
+  std::map<std::pair<OpKind, std::string>, Entry> entries_;
+};
+
+}  // namespace gespmm::gnn

@@ -1,0 +1,180 @@
+#include "gnn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sparse/rng.hpp"
+
+namespace gespmm::gnn {
+
+Tensor Tensor::glorot(index_t rows, index_t cols, std::uint64_t seed) {
+  Tensor t(rows, cols);
+  sparse::SplitMix64 rng(seed);
+  const float bound = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (auto& v : t.data_) v = rng.next_float(-bound, bound);
+  return t;
+}
+
+namespace {
+
+void check(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check(a.cols() == b.rows(), "matmul: inner dimensions differ");
+  Tensor c(a.rows(), b.cols());
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t k = 0; k < a.cols(); ++k) {
+      const value_t aik = a.at(i, k);
+      if (aik == 0.0f) continue;
+      for (index_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Tensor matmul_bt(const Tensor& a, const Tensor& b) {
+  check(a.cols() == b.cols(), "matmul_bt: inner dimensions differ");
+  Tensor c(a.rows(), b.rows());
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < b.rows(); ++j) {
+      value_t acc = 0.0f;
+      for (index_t k = 0; k < a.cols(); ++k) acc += a.at(i, k) * b.at(j, k);
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+Tensor matmul_at(const Tensor& a, const Tensor& b) {
+  check(a.rows() == b.rows(), "matmul_at: inner dimensions differ");
+  Tensor c(a.cols(), b.cols());
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < a.cols(); ++i) {
+    for (index_t k = 0; k < a.rows(); ++k) {
+      const value_t aki = a.at(k, i);
+      if (aki == 0.0f) continue;
+      for (index_t j = 0; j < b.cols(); ++j) c.at(i, j) += aki * b.at(k, j);
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  Tensor t(a.cols(), a.rows());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check(a.same_shape(b), "add: shape mismatch");
+  Tensor c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < c.size(); ++i) c.flat()[i] = a.flat()[i] + b.flat()[i];
+  return c;
+}
+
+Tensor add_bias(const Tensor& a, const Tensor& bias) {
+  check(bias.rows() == 1 && bias.cols() == a.cols(), "add_bias: bias must be 1 x cols");
+  Tensor c(a.rows(), a.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) c.at(i, j) = a.at(i, j) + bias.at(0, j);
+  }
+  return c;
+}
+
+Tensor relu(const Tensor& a) {
+  Tensor c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < c.size(); ++i) c.flat()[i] = std::max(0.0f, a.flat()[i]);
+  return c;
+}
+
+Tensor hadamard(const Tensor& a, const Tensor& b) {
+  check(a.same_shape(b), "hadamard: shape mismatch");
+  Tensor c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < c.size(); ++i) c.flat()[i] = a.flat()[i] * b.flat()[i];
+  return c;
+}
+
+Tensor scale(const Tensor& a, value_t s) {
+  Tensor c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < c.size(); ++i) c.flat()[i] = a.flat()[i] * s;
+  return c;
+}
+
+Tensor colsum(const Tensor& a) {
+  Tensor c(1, a.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) c.at(0, j) += a.at(i, j);
+  }
+  return c;
+}
+
+Tensor concat_cols(const Tensor& a, const Tensor& b) {
+  check(a.rows() == b.rows(), "concat_cols: row mismatch");
+  Tensor c(a.rows(), a.cols() + b.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) c.at(i, j) = a.at(i, j);
+    for (index_t j = 0; j < b.cols(); ++j) c.at(i, a.cols() + j) = b.at(i, j);
+  }
+  return c;
+}
+
+void split_cols(const Tensor& g, index_t a_cols, Tensor& ga, Tensor& gb) {
+  ga = Tensor(g.rows(), a_cols);
+  gb = Tensor(g.rows(), g.cols() - a_cols);
+  for (index_t i = 0; i < g.rows(); ++i) {
+    for (index_t j = 0; j < a_cols; ++j) ga.at(i, j) = g.at(i, j);
+    for (index_t j = a_cols; j < g.cols(); ++j) gb.at(i, j - a_cols) = g.at(i, j);
+  }
+}
+
+Tensor log_softmax(const Tensor& a) {
+  Tensor c(a.rows(), a.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    value_t mx = a.at(i, 0);
+    for (index_t j = 1; j < a.cols(); ++j) mx = std::max(mx, a.at(i, j));
+    double sum = 0.0;
+    for (index_t j = 0; j < a.cols(); ++j) sum += std::exp(static_cast<double>(a.at(i, j) - mx));
+    const value_t logz = mx + static_cast<value_t>(std::log(sum));
+    for (index_t j = 0; j < a.cols(); ++j) c.at(i, j) = a.at(i, j) - logz;
+  }
+  return c;
+}
+
+LossResult nll_loss(const Tensor& logp, std::span<const int> labels) {
+  check(static_cast<std::size_t>(logp.rows()) == labels.size(),
+        "nll_loss: label count mismatch");
+  LossResult res;
+  res.grad_logits = Tensor(logp.rows(), logp.cols());
+  const double inv_n = 1.0 / std::max<index_t>(1, logp.rows());
+  int correct = 0;
+  for (index_t i = 0; i < logp.rows(); ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    res.loss -= static_cast<double>(logp.at(i, y)) * inv_n;
+    index_t best = 0;
+    for (index_t j = 1; j < logp.cols(); ++j) {
+      if (logp.at(i, j) > logp.at(i, best)) best = j;
+    }
+    if (best == y) ++correct;
+    // d(mean NLL)/d(logit) = (softmax - onehot) / n.
+    for (index_t j = 0; j < logp.cols(); ++j) {
+      const value_t soft = std::exp(logp.at(i, j));
+      res.grad_logits.at(i, j) =
+          static_cast<value_t>((soft - (j == y ? 1.0f : 0.0f)) * inv_n);
+    }
+  }
+  res.accuracy = static_cast<double>(correct) * inv_n;
+  return res;
+}
+
+}  // namespace gespmm::gnn

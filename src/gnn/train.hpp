@@ -1,0 +1,50 @@
+#pragma once
+/// \file train.hpp
+/// Full-batch node-classification training loop: builds the model from a
+/// dataset, trains with Adam, and returns the profiler's CUDA-time report
+/// — the measurement underlying the paper's Tables I/II/IX and Figs 13/14.
+
+#include <string>
+#include <vector>
+
+#include "gnn/models.hpp"
+#include "sparse/datasets.hpp"
+
+namespace gespmm::gnn {
+
+struct TrainConfig {
+  ModelConfig model;
+  int epochs = 20;
+  double lr = 1e-2;
+  gpusim::DeviceSpec device;
+
+  TrainConfig();  // defaults to gtx1080ti
+};
+
+struct TrainResult {
+  double final_loss = 0.0;
+  double first_loss = 0.0;
+  double final_accuracy = 0.0;
+  /// Total simulated device time over all epochs.
+  double cuda_time_ms = 0.0;
+  double spmm_ms = 0.0;
+  double spmm_like_ms = 0.0;
+  double gemm_ms = 0.0;
+  /// Fraction of CUDA time in (SpMM + SpMM-like + the csrmm2 transpose fix).
+  double spmm_fraction = 0.0;
+  std::string profile_report;
+};
+
+/// Deterministic synthetic node labels for a dataset (feature-correlated so
+/// training can actually reduce the loss).
+std::vector<int> synthetic_labels(const sparse::GraphDataset& data, std::uint64_t seed);
+
+/// Deterministic node features (dataset feature_dim may be overridden to
+/// keep wide-feature graphs affordable in tests).
+Tensor synthetic_features(const sparse::GraphDataset& data, int feature_dim,
+                          std::uint64_t seed);
+
+/// Train on a dataset and report timing + convergence.
+TrainResult train(const sparse::GraphDataset& data, const TrainConfig& cfg);
+
+}  // namespace gespmm::gnn

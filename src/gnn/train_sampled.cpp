@@ -1,0 +1,79 @@
+#include "gnn/train_sampled.hpp"
+
+#include "gnn/train.hpp"
+
+namespace gespmm::gnn {
+
+SampledTrainConfig::SampledTrainConfig() : device(gpusim::gtx1080ti()) {}
+
+SampledTrainResult train_sampled(const sparse::GraphDataset& data,
+                                 const SampledTrainConfig& cfg) {
+  const Tensor features = synthetic_features(data, data.feature_dim, 0xFEA7);
+  const std::vector<int> labels = synthetic_labels(data, 0x1ABE1);
+  const int classes = std::max(2, data.num_classes);
+
+  Engine eng(cfg.device);
+  // SAGE-mean weights: layer l maps (l == 0 ? in : hidden) -> out.
+  std::vector<VarPtr> w, b;
+  int in = data.feature_dim;
+  for (int l = 0; l < cfg.num_layers; ++l) {
+    const bool last = l + 1 == cfg.num_layers;
+    const int out = last ? classes : cfg.hidden_feats;
+    w.push_back(eng.param(Tensor::glorot(in, out, 0x5A6E + static_cast<std::uint64_t>(l))));
+    b.push_back(eng.param(Tensor(1, out)));
+    in = out;
+  }
+  Adam opt(eng, cfg.lr);
+
+  SampledTrainResult res;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const auto batches = sparse::make_batches(
+        data.adj.rows, cfg.batch_size, cfg.seed + static_cast<std::uint64_t>(epoch));
+    for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+      sparse::SampleOptions so;
+      so.fanout = cfg.fanout;
+      so.seed = cfg.seed * 77 + static_cast<std::uint64_t>(epoch) * 1009 + bi;
+      const auto blocks =
+          sparse::sample_blocks(data.adj, batches[bi], cfg.num_layers, so);
+
+      eng.zero_grad_and_tape();
+      // Gather the deepest frontier's features.
+      const auto& frontier = blocks.front().input_nodes;
+      Tensor x(static_cast<index_t>(frontier.size()), features.cols());
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        for (index_t j = 0; j < features.cols(); ++j) {
+          x.at(static_cast<index_t>(i), j) = features.at(frontier[i], j);
+        }
+      }
+      VarPtr h = eng.input(std::move(x));
+      std::vector<GnnGraph> graphs;  // keep alive for backward
+      graphs.reserve(blocks.size());
+      for (std::size_t l = 0; l < blocks.size(); ++l) {
+        graphs.emplace_back(blocks[l].adj, cfg.device);
+        res.total_sampled_nnz += blocks[l].adj.nnz();
+      }
+      for (std::size_t l = 0; l < blocks.size(); ++l) {
+        VarPtr agg = eng.aggregate(graphs[l], h, cfg.backend, kernels::ReduceKind::Sum);
+        VarPtr lin = eng.add_bias(eng.matmul(agg, w[l]), b[l]);
+        h = (l + 1 == blocks.size()) ? lin : eng.relu(lin);
+      }
+      // Loss on the batch's output nodes.
+      std::vector<int> batch_labels;
+      batch_labels.reserve(blocks.back().output_nodes.size());
+      for (index_t v : blocks.back().output_nodes) {
+        batch_labels.push_back(labels[static_cast<std::size_t>(v)]);
+      }
+      const auto loss = eng.softmax_cross_entropy(h, batch_labels);
+      eng.backward();
+      opt.step();
+      if (res.num_batches == 0) res.first_loss = loss.loss;
+      res.final_loss = loss.loss;
+      ++res.num_batches;
+    }
+  }
+  res.cuda_time_ms = eng.profiler().total_ms();
+  res.spmm_ms = eng.profiler().total_ms(OpKind::Spmm);
+  return res;
+}
+
+}  // namespace gespmm::gnn

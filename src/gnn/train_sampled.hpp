@@ -1,0 +1,46 @@
+#pragma once
+/// \file train_sampled.hpp
+/// GraphSAGE mini-batch training over sampled blocks (paper refs [4],
+/// [22]; Section II-B). Every batch samples a *fresh* bipartite operand
+/// per layer, so any kernel that needs per-matrix preprocessing pays it
+/// again on every single step — the amortization argument behind
+/// GE-SpMM's CSR-native design, measurable here.
+
+#include "gnn/autograd.hpp"
+#include "sparse/datasets.hpp"
+#include "sparse/sampling.hpp"
+
+namespace gespmm::gnn {
+
+struct SampledTrainConfig {
+  int num_layers = 2;
+  int hidden_feats = 16;
+  index_t batch_size = 256;
+  int fanout = 10;
+  int epochs = 1;
+  double lr = 1e-2;
+  AggregatorBackend backend = AggregatorBackend::GeSpMM;
+  gpusim::DeviceSpec device;
+  std::uint64_t seed = 1;
+
+  SampledTrainConfig();  // defaults to gtx1080ti
+};
+
+struct SampledTrainResult {
+  double first_loss = 0.0;
+  double final_loss = 0.0;
+  double cuda_time_ms = 0.0;
+  double spmm_ms = 0.0;
+  int num_batches = 0;
+  /// Total operand nnz consumed across all sampled blocks (each one a
+  /// distinct matrix — the reason preprocessing cannot amortize).
+  std::int64_t total_sampled_nnz = 0;
+};
+
+/// Mini-batch GraphSAGE-mean training: per batch, sample `num_layers`
+/// blocks and run aggregate -> linear -> ReLU per block, cross-entropy on
+/// the batch nodes.
+SampledTrainResult train_sampled(const sparse::GraphDataset& data,
+                                 const SampledTrainConfig& cfg);
+
+}  // namespace gespmm::gnn

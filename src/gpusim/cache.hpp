@@ -1,0 +1,63 @@
+#pragma once
+/// \file cache.hpp
+/// Direct-mapped sector-cache models for the simulated L1 and L2.
+///
+/// Caches are modelled per thread block: each block starts a new "epoch"
+/// with a cold cache whose tags are invalidated lazily via a generation
+/// counter (no per-block memset). Modelling the shared L2 as a per-block
+/// slice is an approximation that keeps the simulation deterministic and
+/// embarrassingly parallel; DESIGN.md discusses the trade-off. Line size is
+/// 128 bytes (4 transactions per line), matching NVIDIA hardware.
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace gespmm::gpusim {
+
+class SectorCache {
+ public:
+  /// `num_lines` is rounded up to a power of two. A zero-line cache never
+  /// hits (used to disable L1 on Pascal configs).
+  void configure(std::size_t num_lines) {
+    if (num_lines == 0) {
+      entries_.clear();
+      mask_ = 0;
+      return;
+    }
+    std::size_t n = std::bit_ceil(num_lines);
+    if (entries_.size() != n) {
+      entries_.assign(n, Entry{});
+      generation_ = 1;
+    }
+    mask_ = n - 1;
+  }
+
+  /// Start a fresh (cold) cache without touching memory.
+  void new_epoch() { ++generation_; }
+
+  /// Access the 128-byte line containing byte address `addr`.
+  /// Returns true on hit; always installs the line.
+  bool access(std::uint64_t addr) {
+    if (entries_.empty()) return false;
+    const std::uint64_t line = addr >> 7;  // 128-byte lines
+    Entry& e = entries_[line & mask_];
+    const bool hit = e.generation == generation_ && e.tag == line;
+    e.tag = line;
+    e.generation = generation_;
+    return hit;
+  }
+
+  bool enabled() const { return !entries_.empty(); }
+
+ private:
+  struct Entry {
+    std::uint64_t tag = ~std::uint64_t{0};
+    std::uint64_t generation = 0;
+  };
+  std::vector<Entry> entries_;
+  std::uint64_t mask_ = 0;
+  std::uint64_t generation_ = 1;
+};
+
+}  // namespace gespmm::gpusim

@@ -1,0 +1,111 @@
+#include "gpusim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpusim/types.hpp"
+
+namespace gespmm::gpusim {
+
+namespace {
+
+/// Saturating utilisation: u(C) -> 1 as concurrency C grows; u(C_half) = 0.5.
+double saturation(double concurrency, double c_half) {
+  if (concurrency <= 0.0) return 1e-3;
+  return concurrency / (concurrency + c_half);
+}
+
+}  // namespace
+
+double achieved_occupancy(const DeviceSpec& dev, const LaunchConfig& cfg,
+                          const Occupancy& occ) {
+  const int warps_per_block = (cfg.block + kWarpSize - 1) / kWarpSize;
+  const double total_warps = static_cast<double>(cfg.grid) * warps_per_block;
+  const double slots =
+      static_cast<double>(dev.num_sms) * std::max(1, occ.active_warps_per_sm);
+  const double fill = slots > 0 ? std::min(1.0, total_warps / slots) : 0.0;
+  return occ.fraction * fill;
+}
+
+TimeBreakdown estimate_time(const DeviceSpec& dev, const LaunchConfig& cfg,
+                            const LaunchMetrics& m, const Occupancy& occ) {
+  TimeBreakdown t;
+  const int warps_per_block = (cfg.block + kWarpSize - 1) / kWarpSize;
+  const double total_warps = static_cast<double>(cfg.grid) * warps_per_block;
+
+  // Concurrency available for latency hiding: resident warps per SM, but no
+  // more than the grid actually provides.
+  const double resident_warps_per_sm =
+      std::min(static_cast<double>(std::max(1, occ.active_warps_per_sm)),
+               total_warps / dev.num_sms);
+  const double ilp_factor =
+      1.0 + dev.ilp_concurrency_gain * (std::min(cfg.ilp, dev.ilp_cap) - 1.0);
+  const double reg_pressure =
+      1.0 + dev.reg_pressure_slope *
+                std::max(0.0, static_cast<double>(cfg.regs_per_thread) - dev.reg_pressure_knee);
+  const double concurrency = resident_warps_per_sm * ilp_factor / reg_pressure;
+  t.concurrency = concurrency;
+
+  const double u_dram = saturation(concurrency, dev.dram_half_saturation_warps);
+  const double u_l2 = saturation(concurrency, dev.l2_half_saturation_warps);
+  t.utilization = u_dram;
+
+  const double tb = dev.transaction_bytes;
+  const double gb = 1e9;  // bytes per (GB/s * ms * 1e-3) — we work in ms below.
+
+  // DRAM: load misses + write-through stores.
+  const double dram_bytes = static_cast<double>(m.dram_transactions) * tb;
+  t.dram_ms = dram_bytes / (dev.dram_bw_gbps * u_dram * gb) * 1e3;
+
+  // L2 interface: every transaction that was not absorbed by L1, plus
+  // stores.
+  const double l2_transactions =
+      static_cast<double>(m.gld_transactions - m.l1_hits + m.gst_transactions);
+  const double l2_bytes = l2_transactions * tb;
+  t.l2_ms = l2_bytes / (dev.dram_bw_gbps * dev.l2_bw_ratio * u_l2 * gb) * 1e3;
+
+  // L1 interface: all load transactions pass through it when it is enabled.
+  if (dev.unified_l1) {
+    const double l1_bytes = static_cast<double>(m.gld_transactions) * tb;
+    t.l1_ms = l1_bytes / (dev.dram_bw_gbps * dev.l1_bw_ratio * gb) * 1e3;
+  }
+
+  // Shared memory.
+  const double smem_bytes =
+      static_cast<double>(m.smem_load_bytes + m.smem_store_bytes);
+  t.smem_ms = smem_bytes / (dev.smem_bw_gbps * gb) * 1e3;
+
+  // Instruction issue.
+  const double issue_rate =
+      static_cast<double>(dev.num_sms) * dev.issue_width * dev.clock_ghz * 1e9;
+  t.issue_ms = static_cast<double>(m.warp_instructions) / issue_rate * 1e3;
+
+  // Critical path of the most loaded block: with B blocks spread over the
+  // SMs, the kernel cannot finish before its longest dependent load chain
+  // drains — how row-length skew hurts row-per-warp/block mappings.
+  const double overlap = dev.mlp_per_warp * std::min(cfg.ilp, 2.0);
+  const double chain = static_cast<double>(m.max_block_gld_instructions) /
+                       std::max(1, warps_per_block);
+  t.tail_ms = chain * dev.mem_latency_ns / std::max(1.0, overlap) * 1e-6;
+
+  t.launch_overhead_ms = dev.launch_overhead_us * 1e-3;
+
+  double worst = t.dram_ms;
+  t.bottleneck = "dram";
+  auto consider = [&](double v, const char* n) {
+    if (v > worst) {
+      worst = v;
+      t.bottleneck = n;
+    }
+  };
+  consider(t.l2_ms, "l2");
+  consider(t.l1_ms, "l1");
+  consider(t.smem_ms, "smem");
+  consider(t.issue_ms, "issue");
+  consider(t.tail_ms, "tail");
+
+  t.total_ms = t.launch_overhead_ms + worst;
+  return t;
+}
+
+}  // namespace gespmm::gpusim

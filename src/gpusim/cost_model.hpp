@@ -1,0 +1,55 @@
+#pragma once
+/// \file cost_model.hpp
+/// Analytical timing model: converts a launch's measured metrics into an
+/// execution-time estimate.
+///
+/// The model is a bottleneck ("roofline over the memory hierarchy") model:
+///   time = launch_overhead
+///        + max(DRAM time, L2 time, L1 time, smem time, issue time)
+/// where each level's effective bandwidth is scaled by a saturating
+/// utilisation curve u(C) = C / (C + C_half) driven by the concurrency
+/// available to hide latency: resident warps per SM, boosted by declared
+/// ILP (thread coarsening) and throttled by register pressure.
+///
+/// This structure is what lets the paper's findings emerge rather than be
+/// hard-coded:
+///  - CRC removes broadcast L2 traffic -> the L2 term shrinks (Pascal win).
+///  - On Turing the L1 absorbs broadcasts -> the L2 term was never the
+///    bottleneck -> CRC alone gains ~nothing (paper's RTX 2080 anomaly).
+///  - CWM (CF=2) halves redundant sparse traffic and doubles ILP -> higher
+///    utilisation; CF>=4 pays register pressure and lost concurrency, so
+///    the optimum sits at CF=2 exactly as in Fig. 9 / Table VI.
+
+#include "gpusim/device.hpp"
+#include "gpusim/metrics.hpp"
+
+namespace gespmm::gpusim {
+
+struct TimeBreakdown {
+  double dram_ms = 0.0;
+  double l2_ms = 0.0;
+  double l1_ms = 0.0;
+  double smem_ms = 0.0;
+  double issue_ms = 0.0;
+  /// Critical-path term: longest per-block load chain (load imbalance).
+  double tail_ms = 0.0;
+  double launch_overhead_ms = 0.0;
+  double total_ms = 0.0;
+  /// Utilisation u in (0, 1] applied to the DRAM/L2 bandwidths.
+  double utilization = 1.0;
+  /// Effective concurrency (warps per SM x ILP factor / register pressure).
+  double concurrency = 0.0;
+  const char* bottleneck = "none";
+};
+
+/// Estimate kernel time from metrics. `occ` must come from
+/// compute_occupancy(dev, cfg).
+TimeBreakdown estimate_time(const DeviceSpec& dev, const LaunchConfig& cfg,
+                            const LaunchMetrics& m, const Occupancy& occ);
+
+/// Achieved occupancy estimate: theoretical occupancy derated when the grid
+/// cannot fill all SMs.
+double achieved_occupancy(const DeviceSpec& dev, const LaunchConfig& cfg,
+                          const Occupancy& occ);
+
+}  // namespace gespmm::gpusim

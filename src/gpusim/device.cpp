@@ -1,0 +1,107 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gpusim/types.hpp"
+
+namespace gespmm::gpusim {
+
+DeviceSpec gtx1080ti() {
+  DeviceSpec d;
+  d.name = "gtx1080ti";
+  d.num_sms = 28;
+  d.clock_ghz = 1.481;
+  d.max_warps_per_sm = 64;
+  d.max_threads_per_sm = 2048;
+  d.max_blocks_per_sm = 32;
+  d.regs_per_sm = 65536;
+  d.smem_per_sm = 96 * 1024;
+  d.max_smem_per_block = 48 * 1024;
+  d.dram_bw_gbps = 484.0;
+  d.l2_bw_ratio = 2.0;   // GP102 L2 ~ 1 TB/s
+  d.unified_l1 = false;  // Pascal: global loads bypass L1 by default
+  d.l1_bytes = 48 * 1024;
+  d.l2_bytes = 2816 * 1024;
+  d.smem_bw_gbps = 28 * 128 * 1.481;  // ~5.3 TB/s
+  d.dram_half_saturation_warps = 50.0;
+  d.l2_half_saturation_warps = 50.0;
+  return d;
+}
+
+DeviceSpec rtx2080() {
+  DeviceSpec d;
+  d.name = "rtx2080";
+  d.num_sms = 46;
+  d.clock_ghz = 1.515;
+  d.max_warps_per_sm = 32;  // Turing halves warp slots per SM
+  d.max_threads_per_sm = 1024;
+  d.max_blocks_per_sm = 16;
+  d.regs_per_sm = 65536;
+  d.smem_per_sm = 64 * 1024;
+  d.max_smem_per_block = 64 * 1024;
+  d.dram_bw_gbps = 448.0;
+  d.l2_bw_ratio = 2.2;  // TU104 L2 relatively faster
+  d.l1_bw_ratio = 6.0;
+  d.unified_l1 = true;  // Turing: unified L1 caches global loads
+  d.l1_bytes = 64 * 1024;
+  d.l2_bytes = 4096 * 1024;
+  d.smem_bw_gbps = 46 * 128 * 1.515;  // ~8.9 TB/s
+  // Turing has half the warp slots per SM; per-warp latency tolerance is
+  // similar, so the half-saturation point stays high relative to the slot
+  // count and ILP matters even more than on Pascal.
+  d.dram_half_saturation_warps = 50.0;
+  d.l2_half_saturation_warps = 25.0;
+  return d;
+}
+
+DeviceSpec device_by_name(const std::string& name) {
+  if (name == "gtx1080ti" || name == "1080ti" || name == "pascal") {
+    return gtx1080ti();
+  }
+  if (name == "rtx2080" || name == "2080" || name == "turing") {
+    return rtx2080();
+  }
+  throw std::invalid_argument("unknown device: " + name);
+}
+
+Occupancy compute_occupancy(const DeviceSpec& dev, const LaunchConfig& cfg) {
+  Occupancy occ;
+  const int warps_per_block = std::max(1, (cfg.block + kWarpSize - 1) / kWarpSize);
+
+  // Each limit expressed as blocks per SM.
+  const int by_blocks = dev.max_blocks_per_sm;
+  const int by_threads = std::max(1, dev.max_threads_per_sm) / std::max(1, cfg.block);
+  const int by_warps = dev.max_warps_per_sm / warps_per_block;
+  const long long regs_per_block =
+      static_cast<long long>(std::max(1, cfg.regs_per_thread)) * cfg.block;
+  const int by_regs =
+      static_cast<int>(std::max<long long>(0, dev.regs_per_sm / std::max<long long>(1, regs_per_block)));
+  const int by_smem =
+      cfg.smem_bytes == 0
+          ? dev.max_blocks_per_sm
+          : static_cast<int>(dev.smem_per_sm / std::max<std::size_t>(1, cfg.smem_bytes));
+
+  int blocks = by_blocks;
+  occ.limiter = "blocks";
+  auto tighten = [&](int limit, const char* why) {
+    if (limit < blocks) {
+      blocks = limit;
+      occ.limiter = why;
+    }
+  };
+  tighten(by_threads, "threads");
+  tighten(by_warps, "warps");
+  tighten(by_regs, "registers");
+  tighten(by_smem, "smem");
+
+  occ.blocks_per_sm = std::max(0, blocks);
+  occ.active_warps_per_sm = occ.blocks_per_sm * warps_per_block;
+  occ.active_warps_per_sm = std::min(occ.active_warps_per_sm, dev.max_warps_per_sm);
+  occ.fraction = dev.max_warps_per_sm > 0
+                     ? static_cast<double>(occ.active_warps_per_sm) / dev.max_warps_per_sm
+                     : 0.0;
+  return occ;
+}
+
+}  // namespace gespmm::gpusim

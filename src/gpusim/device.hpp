@@ -1,0 +1,132 @@
+#pragma once
+/// \file device.hpp
+/// Device descriptions and the occupancy calculator.
+///
+/// A DeviceSpec bundles both the architectural parameters of a simulated GPU
+/// (SM count, clock, memory hierarchy sizes/bandwidths) and the calibration
+/// constants of the analytical cost model. The two presets model the paper's
+/// evaluation machines: GTX 1080Ti (Pascal) and RTX 2080 (Turing).
+///
+/// The single architecturally *qualitative* difference that matters for the
+/// paper's results is `unified_l1`: on Turing the unified L1 caches global
+/// loads, so the broadcast-heavy access pattern of the naive SpMM (Algorithm
+/// 1) is largely absorbed by L1 and Coalesced Row Caching alone gains little
+/// (paper: 1.011x on RTX 2080 vs 1.246x on GTX 1080Ti). Pascal bypasses L1
+/// for global loads, so every broadcast becomes L2 traffic.
+
+#include <string>
+
+namespace gespmm::gpusim {
+
+/// Architectural + cost-model description of a simulated GPU.
+struct DeviceSpec {
+  std::string name;
+
+  // --- Compute resources ---
+  int num_sms = 28;
+  double clock_ghz = 1.481;
+  int max_warps_per_sm = 64;
+  int max_threads_per_sm = 2048;
+  int max_blocks_per_sm = 32;
+  int regs_per_sm = 65536;
+  int max_regs_per_thread = 255;
+  std::size_t smem_per_sm = 96 * 1024;
+  std::size_t max_smem_per_block = 48 * 1024;
+  /// Warp instructions issued per SM per cycle (warp schedulers).
+  double issue_width = 4.0;
+
+  // --- Memory hierarchy ---
+  /// DRAM peak bandwidth in GB/s.
+  double dram_bw_gbps = 484.0;
+  /// L2 bandwidth as a multiple of DRAM bandwidth.
+  double l2_bw_ratio = 1.6;
+  /// L1 bandwidth as a multiple of DRAM bandwidth (used when unified_l1).
+  double l1_bw_ratio = 6.0;
+  /// Shared-memory bandwidth in GB/s (128 B/cycle/SM).
+  double smem_bw_gbps = 5300.0;
+  /// Whether global loads are cached in the per-SM L1 (Turing: yes).
+  bool unified_l1 = false;
+  std::size_t l1_bytes = 48 * 1024;
+  std::size_t l2_bytes = 2816 * 1024;
+  /// Memory transaction granularity (nvprof's gld_transactions unit).
+  int transaction_bytes = 32;
+  int line_bytes = 128;
+
+  // --- Cost-model calibration ---
+  /// Kernel launch overhead in microseconds (driver + scheduling).
+  double launch_overhead_us = 3.5;
+  /// Warps-per-SM concurrency at which DRAM bandwidth reaches half of peak
+  /// (Little's-law saturation constant). SpMM's scattered B-row accesses
+  /// keep kernels latency-limited well below peak, which is why thread
+  /// coarsening (CWM) pays: the paper's Table VI shows the no-CWM kernel at
+  /// 479 GB/s and CF=2 at 568 GB/s on a 484 GB/s part — only possible if
+  /// the baseline sits in the latency-limited regime.
+  double dram_half_saturation_warps = 50.0;
+  /// Same constant for L2-interface traffic.
+  double l2_half_saturation_warps = 50.0;
+  /// Additional concurrency contributed per unit of ILP beyond the first
+  /// (CWM with CF=2 declares ILP=2 and gets 1 + ilp_concurrency_gain).
+  double ilp_concurrency_gain = 1.5;
+  /// ILP above this contributes nothing further (MSHR/scoreboard limits) —
+  /// the reason CF=4 stops helping (paper Fig. 9).
+  double ilp_cap = 2.0;
+  /// Average global-load round-trip latency (critical-path term).
+  double mem_latency_ns = 350.0;
+  /// Independent loads one warp keeps in flight (MSHR slots per warp);
+  /// multiplied by the declared ILP (capped at 2) for coarsened kernels.
+  double mlp_per_warp = 4.0;
+  /// Register pressure: concurrency is divided by
+  /// 1 + reg_pressure_slope * max(0, regs_per_thread - reg_pressure_knee);
+  /// CF=8's ~70 registers per thread pay heavily here (paper Fig. 9).
+  double reg_pressure_knee = 38.0;
+  double reg_pressure_slope = 1.0 / 40.0;
+
+  /// Peak single-precision FLOP/s (FMA counts as two FLOPs).
+  double peak_gflops() const {
+    // 128 FP32 lanes per SM, 2 FLOPs per FMA.
+    return num_sms * 128.0 * 2.0 * clock_ghz;
+  }
+};
+
+/// GTX 1080Ti (Pascal GP102): 28 SMs @ 1.481 GHz, 484 GB/s GDDR5X, global
+/// loads not cached in L1. Machine 1 in the paper.
+DeviceSpec gtx1080ti();
+
+/// RTX 2080 (Turing TU104): 46 SMs @ 1.515 GHz, 448 GB/s GDDR6, unified L1
+/// caches global loads. Machine 2 in the paper.
+DeviceSpec rtx2080();
+
+/// Look up a preset by name ("gtx1080ti" or "rtx2080"). Throws on unknown.
+DeviceSpec device_by_name(const std::string& name);
+
+/// Per-kernel launch geometry and static resource usage.
+struct LaunchConfig {
+  /// Number of thread blocks.
+  long long grid = 1;
+  /// Threads per block (multiple of the warp size for full warps).
+  int block = 32;
+  /// Static shared memory per block in bytes.
+  std::size_t smem_bytes = 0;
+  /// Registers per thread, used by the occupancy calculator.
+  int regs_per_thread = 32;
+  /// Independent memory streams per thread (instruction-level parallelism);
+  /// CWM with coarsening factor CF declares ilp = CF.
+  double ilp = 1.0;
+};
+
+/// Theoretical occupancy for a launch on a device.
+struct Occupancy {
+  int blocks_per_sm = 0;
+  int active_warps_per_sm = 0;
+  /// active_warps_per_sm / max_warps_per_sm.
+  double fraction = 0.0;
+  /// Which resource bounded occupancy ("warps", "threads", "blocks",
+  /// "registers", "smem").
+  std::string limiter;
+};
+
+/// CUDA-style occupancy calculation from block size, register and shared
+/// memory usage.
+Occupancy compute_occupancy(const DeviceSpec& dev, const LaunchConfig& cfg);
+
+}  // namespace gespmm::gpusim

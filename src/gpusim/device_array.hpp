@@ -1,0 +1,102 @@
+#pragma once
+/// \file device_array.hpp
+/// Host-backed "device" buffers with a deterministic virtual address space.
+///
+/// Simulated kernels access these through WarpCtx::ld/st, which both moves
+/// real values (so computation is genuine) and feeds the coalescer with the
+/// buffer's *virtual device addresses* (so transaction counts are genuine
+/// too). Virtual addresses come from a global bump allocator with 256-byte
+/// alignment — like cudaMalloc — which makes coalescing and cache-conflict
+/// behaviour bit-identical across runs (real heap addresses would wobble
+/// with ASLR and allocation history).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gespmm::gpusim {
+
+namespace detail {
+inline constexpr std::uint64_t kArenaBase = 0x1000'0000ull;
+inline std::atomic<std::uint64_t>& device_arena() {
+  static std::atomic<std::uint64_t> next{kArenaBase};
+  return next;
+}
+}  // namespace detail
+
+/// Reserve a 256-byte-aligned virtual device range of `bytes` bytes.
+inline std::uint64_t allocate_device_address(std::size_t bytes) {
+  const std::uint64_t len = (static_cast<std::uint64_t>(bytes) + 255u) & ~255ull;
+  return detail::device_arena().fetch_add(len + 256u);
+}
+
+/// Reset the virtual address space. Only safe when no simulated launch is
+/// in flight; used by tests/benches that need identical addresses across
+/// repeated in-process experiments.
+inline void reset_device_address_space() {
+  detail::device_arena().store(detail::kArenaBase);
+}
+
+/// A typed device buffer. Element type must be trivially copyable and its
+/// size must divide the 32-byte transaction size (4- and 8-byte elements),
+/// so a naturally aligned element never straddles a transaction boundary.
+template <typename T>
+class DeviceArray {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(32 % sizeof(T) == 0, "element must not straddle transactions");
+
+ public:
+  DeviceArray() : base_(allocate_device_address(0)), reserved_(0) {}
+  explicit DeviceArray(std::size_t n) : data_(n) { reserve_addresses(); }
+  DeviceArray(std::size_t n, T fill) : data_(n, fill) { reserve_addresses(); }
+  explicit DeviceArray(std::span<const T> host) : data_(host.begin(), host.end()) {
+    reserve_addresses();
+  }
+
+  DeviceArray(const DeviceArray& o) : data_(o.data_) { reserve_addresses(); }
+  DeviceArray& operator=(const DeviceArray& o) {
+    data_ = o.data_;
+    reserve_addresses();
+    return *this;
+  }
+  DeviceArray(DeviceArray&&) noexcept = default;
+  DeviceArray& operator=(DeviceArray&&) noexcept = default;
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Virtual device byte address of element 0 (256-byte aligned, unique).
+  std::uint64_t base_addr() const { return base_; }
+
+  // Host-side access for setup and verification.
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::span<T> host() { return {data_.data(), data_.size()}; }
+  std::span<const T> host() const { return {data_.data(), data_.size()}; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  void assign(std::span<const T> host) {
+    data_.assign(host.begin(), host.end());
+    if (data_.size() * sizeof(T) > reserved_) reserve_addresses();
+  }
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+  void resize(std::size_t n) {
+    data_.resize(n);
+    if (n * sizeof(T) > reserved_) reserve_addresses();
+  }
+
+ private:
+  void reserve_addresses() {
+    reserved_ = data_.size() * sizeof(T);
+    base_ = allocate_device_address(reserved_);
+  }
+
+  std::vector<T> data_;
+  std::uint64_t base_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+}  // namespace gespmm::gpusim

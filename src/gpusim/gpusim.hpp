@@ -1,0 +1,13 @@
+#pragma once
+/// \file gpusim.hpp
+/// Umbrella header for the warp-level GPU simulator.
+
+#include "gpusim/cache.hpp"      // IWYU pragma: export
+#include "gpusim/coalesce.hpp"   // IWYU pragma: export
+#include "gpusim/cost_model.hpp" // IWYU pragma: export
+#include "gpusim/device.hpp"     // IWYU pragma: export
+#include "gpusim/device_array.hpp" // IWYU pragma: export
+#include "gpusim/launch.hpp"     // IWYU pragma: export
+#include "gpusim/metrics.hpp"    // IWYU pragma: export
+#include "gpusim/types.hpp"      // IWYU pragma: export
+#include "gpusim/warp.hpp"       // IWYU pragma: export

@@ -1,0 +1,68 @@
+#pragma once
+/// \file row_block_mapping.hpp
+/// Grid mapping shared by the GE-SpMM family (Algorithms 1-3): one thread
+/// block per (sparse row, column chunk). Threads within a warp share the
+/// row index i and cover contiguous output columns j — the layout that
+/// makes dense-matrix access coalesced (paper Section III-B).
+
+#include <algorithm>
+
+#include "gpusim/device.hpp"
+#include "gpusim/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace gespmm::kernels {
+
+struct RowBlockMapping {
+  sparse::index_t m = 0;
+  sparse::index_t n = 0;
+  /// Output columns produced per thread (CWM coarsening factor).
+  int cf = 1;
+  int block_dim = 32;
+  /// Columns covered by one block = block_dim * cf.
+  int cols_per_block = 32;
+  long long col_chunks = 1;
+
+  static RowBlockMapping create(sparse::index_t m, sparse::index_t n, int cf,
+                                int max_block = 512) {
+    RowBlockMapping map;
+    map.m = m;
+    map.n = n;
+    map.cf = cf;
+    const long long cols_needed = (n + cf - 1) / cf;
+    const long long rounded =
+        std::max<long long>(gpusim::kWarpSize,
+                            (cols_needed + gpusim::kWarpSize - 1) / gpusim::kWarpSize *
+                                gpusim::kWarpSize);
+    map.block_dim = static_cast<int>(std::min<long long>(max_block, rounded));
+    map.cols_per_block = map.block_dim * cf;
+    map.col_chunks = (n + map.cols_per_block - 1) / map.cols_per_block;
+    return map;
+  }
+
+  long long grid() const { return static_cast<long long>(m) * col_chunks; }
+
+  /// Decode a block id into (row, column-chunk).
+  void decode(long long block_id, sparse::index_t& row, long long& chunk) const {
+    row = static_cast<sparse::index_t>(block_id / col_chunks);
+    chunk = block_id % col_chunks;
+  }
+
+  /// Base output column of warp `w` (coarsened lane group `c` adds 32*c...
+  /// columns j, j+32, ..., j+32*(cf-1) belong to the same thread).
+  long long warp_col_base(long long chunk, int warp_in_block) const {
+    return chunk * cols_per_block +
+           static_cast<long long>(warp_in_block) * gpusim::kWarpSize * cf;
+  }
+
+  /// Lane activity mask for columns [base + 32*c, base + 32*c + 32).
+  gpusim::LaneMask col_mask(long long col_base) const {
+    if (col_base >= n) return 0;
+    const long long remaining = n - col_base;
+    return remaining >= gpusim::kWarpSize
+               ? gpusim::kFullMask
+               : gpusim::first_lanes(static_cast<int>(remaining));
+  }
+};
+
+}  // namespace gespmm::kernels

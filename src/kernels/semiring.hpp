@@ -1,0 +1,86 @@
+#pragma once
+/// \file semiring.hpp
+/// Generalized reduction operators for SpMM-like operations (paper Section
+/// IV-A): the user provides an initialization value and an associative,
+/// commutative reduce function, inlined at compile time. Standard SpMM is
+/// the (0, +) instance; GraphSAGE-pool's max-aggregation is the (-inf, max)
+/// instance; mean aggregation divides by the row length in finalize().
+
+#include <limits>
+
+#include "sparse/csr.hpp"
+
+namespace gespmm::kernels {
+
+using sparse::index_t;
+using sparse::value_t;
+
+/// Runtime tag for dispatching to the compile-time semiring instances.
+enum class ReduceKind { Sum, Max, Min, Mean };
+
+inline const char* reduce_kind_name(ReduceKind k) {
+  switch (k) {
+    case ReduceKind::Sum: return "sum";
+    case ReduceKind::Max: return "max";
+    case ReduceKind::Min: return "min";
+    case ReduceKind::Mean: return "mean";
+  }
+  return "?";
+}
+
+/// Standard SpMM: C[i,j] = sum_k A[i,k] * B[k,j].
+struct SumReduce {
+  static constexpr ReduceKind kind = ReduceKind::Sum;
+  static value_t init() { return 0.0f; }
+  static value_t combine(value_t a, value_t b) { return a * b; }
+  static value_t reduce(value_t acc, value_t x) { return acc + x; }
+  static value_t finalize(value_t acc, index_t /*row_nnz*/) { return acc; }
+};
+
+/// Max-pooling aggregation (GraphSAGE-pool). Empty rows yield 0.
+struct MaxReduce {
+  static constexpr ReduceKind kind = ReduceKind::Max;
+  static value_t init() { return -std::numeric_limits<value_t>::infinity(); }
+  static value_t combine(value_t a, value_t b) { return a * b; }
+  static value_t reduce(value_t acc, value_t x) { return acc > x ? acc : x; }
+  static value_t finalize(value_t acc, index_t row_nnz) {
+    return row_nnz == 0 ? 0.0f : acc;
+  }
+};
+
+/// Min-pooling. Empty rows yield 0.
+struct MinReduce {
+  static constexpr ReduceKind kind = ReduceKind::Min;
+  static value_t init() { return std::numeric_limits<value_t>::infinity(); }
+  static value_t combine(value_t a, value_t b) { return a * b; }
+  static value_t reduce(value_t acc, value_t x) { return acc < x ? acc : x; }
+  static value_t finalize(value_t acc, index_t row_nnz) {
+    return row_nnz == 0 ? 0.0f : acc;
+  }
+};
+
+/// Mean aggregation (GraphSAGE-mean): sum then divide by row degree.
+struct MeanReduce {
+  static constexpr ReduceKind kind = ReduceKind::Mean;
+  static value_t init() { return 0.0f; }
+  static value_t combine(value_t a, value_t b) { return a * b; }
+  static value_t reduce(value_t acc, value_t x) { return acc + x; }
+  static value_t finalize(value_t acc, index_t row_nnz) {
+    return row_nnz == 0 ? 0.0f : acc / static_cast<value_t>(row_nnz);
+  }
+};
+
+/// Dispatch a callable templated on the semiring type over a runtime kind:
+/// `with_semiring(kind, [&]<typename R>() { ... });`
+template <typename F>
+decltype(auto) with_semiring(ReduceKind kind, F&& f) {
+  switch (kind) {
+    case ReduceKind::Sum: return f.template operator()<SumReduce>();
+    case ReduceKind::Max: return f.template operator()<MaxReduce>();
+    case ReduceKind::Min: return f.template operator()<MinReduce>();
+    case ReduceKind::Mean: return f.template operator()<MeanReduce>();
+  }
+  return f.template operator()<SumReduce>();
+}
+
+}  // namespace gespmm::kernels

@@ -1,0 +1,168 @@
+#include "kernels/spmm_aspt.hpp"
+
+#include <algorithm>
+
+namespace gespmm::kernels {
+
+AsptDevice::AsptDevice(const sparse::AsptMatrix& m) {
+  rows = m.rows;
+  cols = m.cols;
+  panel_rows = m.panel_rows;
+  num_panels = static_cast<index_t>(m.panels.size());
+
+  std::vector<index_t> prb, hcp{0}, hcols, hrp, hrpo, heo, hpos, lrp, lrpo, leo, lci;
+  std::vector<value_t> hval, lval;
+  for (const auto& p : m.panels) {
+    prb.push_back(p.row_begin);
+    hrpo.push_back(static_cast<index_t>(hrp.size()));
+    heo.push_back(static_cast<index_t>(hpos.size()));
+    lrpo.push_back(static_cast<index_t>(lrp.size()));
+    leo.push_back(static_cast<index_t>(lci.size()));
+    hcols.insert(hcols.end(), p.heavy_cols.begin(), p.heavy_cols.end());
+    hcp.push_back(static_cast<index_t>(hcols.size()));
+    hrp.insert(hrp.end(), p.heavy_rowptr.begin(), p.heavy_rowptr.end());
+    hpos.insert(hpos.end(), p.heavy_colpos.begin(), p.heavy_colpos.end());
+    hval.insert(hval.end(), p.heavy_val.begin(), p.heavy_val.end());
+    lrp.insert(lrp.end(), p.light_rowptr.begin(), p.light_rowptr.end());
+    lci.insert(lci.end(), p.light_colind.begin(), p.light_colind.end());
+    lval.insert(lval.end(), p.light_val.begin(), p.light_val.end());
+  }
+  panel_row_begin = gpusim::DeviceArray<index_t>(std::span<const index_t>(prb));
+  hc_ptr = gpusim::DeviceArray<index_t>(std::span<const index_t>(hcp));
+  heavy_cols = gpusim::DeviceArray<index_t>(std::span<const index_t>(hcols));
+  heavy_rowptr = gpusim::DeviceArray<index_t>(std::span<const index_t>(hrp));
+  heavy_rp_off = gpusim::DeviceArray<index_t>(std::span<const index_t>(hrpo));
+  heavy_ent_off = gpusim::DeviceArray<index_t>(std::span<const index_t>(heo));
+  heavy_colpos = gpusim::DeviceArray<index_t>(std::span<const index_t>(hpos));
+  heavy_val = gpusim::DeviceArray<value_t>(std::span<const value_t>(hval));
+  light_rowptr = gpusim::DeviceArray<index_t>(std::span<const index_t>(lrp));
+  light_rp_off = gpusim::DeviceArray<index_t>(std::span<const index_t>(lrpo));
+  light_ent_off = gpusim::DeviceArray<index_t>(std::span<const index_t>(leo));
+  light_colind = gpusim::DeviceArray<index_t>(std::span<const index_t>(lci));
+  light_val = gpusim::DeviceArray<value_t>(std::span<const value_t>(lval));
+}
+
+void SpmmAsptKernel::run_block(gpusim::BlockCtx& blk) const {
+  using namespace gpusim;
+  const long long n = p_->n();
+  const long long chunks = (n + 31) / 32;
+  const long long panel = blk.block_id() / chunks;
+  const long long chunk = blk.block_id() % chunks;
+  const long long j0 = chunk * 32;
+  const LaneMask mask =
+      (n - j0) >= kWarpSize ? kFullMask : first_lanes(static_cast<int>(n - j0));
+
+  auto sm_b = blk.smem_alloc<value_t>(kTileCols * 32);
+  auto sm_cols = blk.smem_alloc<index_t>(kTileCols);
+
+  WarpCtx w0 = blk.warp(0);
+  const index_t row_begin = w0.ld_broadcast(a_->panel_row_begin, panel, 0x1u);
+  const index_t hc_lo = w0.ld_broadcast(a_->hc_ptr, panel, 0x1u);
+  const index_t hc_hi = w0.ld_broadcast(a_->hc_ptr, panel + 1, 0x1u);
+  const index_t rp_off = w0.ld_broadcast(a_->heavy_rp_off, panel, 0x1u);
+  const index_t ent_off = w0.ld_broadcast(a_->heavy_ent_off, panel, 0x1u);
+  const index_t lrp_off = w0.ld_broadcast(a_->light_rp_off, panel, 0x1u);
+  const index_t lent_off = w0.ld_broadcast(a_->light_ent_off, panel, 0x1u);
+
+  const int panel_nrows = static_cast<int>(
+      std::min<long long>(a_->panel_rows, a_->rows - row_begin));
+  const int num_tiles = static_cast<int>((hc_hi - hc_lo + kTileCols - 1) / kTileCols);
+
+  // Per-row accumulators (registers of the owning warps) and heavy-stream
+  // cursors; rows are distributed round-robin over the block's warps.
+  std::vector<Lanes<value_t>> acc(static_cast<std::size_t>(panel_nrows),
+                                  splat(0.0f));
+  std::vector<index_t> cursor(static_cast<std::size_t>(panel_nrows));
+  for (int r = 0; r < panel_nrows; ++r) {
+    WarpCtx warp = blk.warp(r % kWarpsPerBlock);
+    cursor[static_cast<std::size_t>(r)] =
+        warp.ld_broadcast(a_->heavy_rowptr, rp_off + r, mask);
+  }
+
+  for (int tile = 0; tile < num_tiles; ++tile) {
+    const index_t tile_lo = hc_lo + static_cast<index_t>(tile) * kTileCols;
+    const int tile_cols = static_cast<int>(
+        std::min<index_t>(kTileCols, hc_hi - tile_lo));
+
+    // Phase 1: warps cooperatively stage the tile's B rows in smem.
+    for (int c = 0; c < tile_cols; ++c) {
+      WarpCtx warp = blk.warp(c % kWarpsPerBlock);
+      const index_t col = warp.ld_broadcast(a_->heavy_cols, tile_lo + c, mask);
+      sm_cols[static_cast<std::size_t>(c)] = col;
+      const Lanes<value_t> brow = warp.ld_contig(
+          p_->B.device(), static_cast<std::int64_t>(col) * n + j0, mask);
+      for (int l = 0; l < kWarpSize; ++l) {
+        sm_b[static_cast<std::size_t>(c) * 32 + static_cast<std::size_t>(l)] =
+            lane_active(mask, l) ? brow[static_cast<std::size_t>(l)] : 0.0f;
+      }
+      warp.smem_store(static_cast<std::uint64_t>(active_lanes(mask)) * sizeof(value_t));
+    }
+    blk.sync_block();
+
+    // Phase 2: each row consumes its heavy entries belonging to this tile.
+    const index_t pos_hi = static_cast<index_t>(tile + 1) * kTileCols;
+    for (int r = 0; r < panel_nrows; ++r) {
+      WarpCtx warp = blk.warp(r % kWarpsPerBlock);
+      const index_t row_end = warp.ld_broadcast(a_->heavy_rowptr, rp_off + r + 1, mask);
+      index_t& cur = cursor[static_cast<std::size_t>(r)];
+      auto& a = acc[static_cast<std::size_t>(r)];
+      while (cur < row_end) {
+        const index_t pos = warp.ld_broadcast(a_->heavy_colpos, ent_off + cur, mask);
+        if (pos >= pos_hi) break;
+        const value_t v = warp.ld_broadcast(a_->heavy_val, ent_off + cur, mask);
+        const int local = static_cast<int>(pos) - tile * kTileCols;
+        warp.smem_load(static_cast<std::uint64_t>(active_lanes(mask)) * sizeof(value_t));
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (lane_active(mask, l)) {
+            a[static_cast<std::size_t>(l)] +=
+                v * sm_b[static_cast<std::size_t>(local) * 32 + static_cast<std::size_t>(l)];
+          }
+        }
+        warp.count_fma(static_cast<std::uint64_t>(active_lanes(mask)));
+        warp.count_inst(3);
+        ++cur;
+      }
+    }
+    blk.sync_block();
+  }
+
+  // Light leftovers: ASpT's tuned CSR stream — the warp fetches the
+  // entries in coalesced 32-wide tiles and broadcasts them lane-to-lane
+  // with shuffles (no shared memory needed), keeping both operands'
+  // accesses coalesced.
+  for (int r = 0; r < panel_nrows; ++r) {
+    WarpCtx warp = blk.warp(r % kWarpsPerBlock);
+    const index_t lo = warp.ld_broadcast(a_->light_rowptr, lrp_off + r, mask);
+    const index_t hi = warp.ld_broadcast(a_->light_rowptr, lrp_off + r + 1, mask);
+    auto& a = acc[static_cast<std::size_t>(r)];
+    for (index_t e = lo; e < hi; e += kWarpSize) {
+      const int tile = static_cast<int>(std::min<index_t>(kWarpSize, hi - e));
+      const LaneMask load_mask = first_lanes(tile);
+      const Lanes<index_t> kk = warp.ld_contig(a_->light_colind, lent_off + e, load_mask);
+      const Lanes<value_t> vv = warp.ld_contig(a_->light_val, lent_off + e, load_mask);
+      for (int t = 0; t < tile; ++t) {
+        const index_t k = warp.shfl(kk, t);
+        const value_t v = warp.shfl(vv, t);
+        const Lanes<value_t> b =
+            warp.ld_contig(p_->B.device(), static_cast<std::int64_t>(k) * n + j0, mask);
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (lane_active(mask, l)) {
+            a[static_cast<std::size_t>(l)] += v * b[static_cast<std::size_t>(l)];
+          }
+        }
+        warp.count_fma(static_cast<std::uint64_t>(active_lanes(mask)));
+        warp.count_inst(2);
+      }
+    }
+  }
+
+  // Store the panel's output rows.
+  for (int r = 0; r < panel_nrows; ++r) {
+    WarpCtx warp = blk.warp(r % kWarpsPerBlock);
+    warp.st_contig(p_->C.device(),
+                   static_cast<std::int64_t>(row_begin + r) * n + j0,
+                   acc[static_cast<std::size_t>(r)], mask);
+  }
+}
+
+}  // namespace gespmm::kernels

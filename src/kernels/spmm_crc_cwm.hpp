@@ -1,0 +1,140 @@
+#pragma once
+/// \file spmm_crc_cwm.hpp
+/// Algorithm 3 of the paper: CRC plus Coarse-grained Warp Merging (CWM).
+///
+/// CWM merges the workloads of CF warps that would redundantly load the
+/// same sparse row: each thread now produces CF outputs (columns j, j+32,
+/// ..., j+32*(CF-1)), so the shared-memory tile of the sparse row is loaded
+/// once instead of CF times, and each tile element issues CF independent
+/// B loads — instruction-level parallelism that raises achieved bandwidth.
+/// The price is CF partial-sum registers per thread and CF-fold fewer
+/// warps; the paper (Fig. 9) finds CF=2 the robust optimum, which the cost
+/// model reproduces.
+
+#include "gpusim/gpusim.hpp"
+#include "kernels/row_block_mapping.hpp"
+#include "kernels/semiring.hpp"
+#include "kernels/spmm_problem.hpp"
+
+namespace gespmm::kernels {
+
+template <typename Reduce = SumReduce, int CF = 2>
+class SpmmCrcCwmKernel final : public gpusim::Kernel {
+  static_assert(CF >= 1 && CF <= 8);
+
+ public:
+  explicit SpmmCrcCwmKernel(SpmmProblem& p)
+      : p_(&p), map_(RowBlockMapping::create(p.m(), p.n(), CF, /*max_block=*/256)) {}
+
+  gpusim::LaunchConfig config(const gpusim::DeviceSpec&) const override {
+    gpusim::LaunchConfig cfg;
+    cfg.grid = map_.grid();
+    cfg.block = map_.block_dim;
+    cfg.smem_bytes = static_cast<std::size_t>(map_.block_dim) *
+                     (sizeof(index_t) + sizeof(value_t));
+    // CF partial sums plus CF address registers on top of the CRC baseline.
+    cfg.regs_per_thread = 30 + 5 * CF;
+    // Effective ILP is bounded by the column groups that actually carry
+    // work: at N <= 32 the merged groups are empty and coarsening adds
+    // only instruction overhead (why the adaptive dispatch of Fig. 7
+    // selects plain CRC there).
+    const long long groups = (map_.n + gpusim::kWarpSize - 1) / gpusim::kWarpSize;
+    cfg.ilp = static_cast<double>(std::min<long long>(CF, std::max<long long>(1, groups)));
+    return cfg;
+  }
+
+  std::string name() const override {
+    return "crc+cwm(cf=" + std::to_string(CF) + ")";
+  }
+
+  void run_block(gpusim::BlockCtx& blk) const override {
+    using namespace gpusim;
+    sparse::index_t i;
+    long long chunk;
+    map_.decode(blk.block_id(), i, chunk);
+    const long long n = map_.n;
+
+    auto sm_k = blk.smem_alloc<index_t>(static_cast<std::size_t>(map_.block_dim));
+    auto sm_v = blk.smem_alloc<value_t>(static_cast<std::size_t>(map_.block_dim));
+
+    for (int w = 0; w < blk.num_warps(); ++w) {
+      const long long j0 = map_.warp_col_base(chunk, w);
+      // Column groups handled by this warp: j0 + 32*c + lane, c in [0, CF).
+      std::array<LaneMask, CF> masks{};
+      LaneMask any = 0;
+      for (int c = 0; c < CF; ++c) {
+        masks[static_cast<std::size_t>(c)] = map_.col_mask(j0 + 32LL * c);
+        any |= masks[static_cast<std::size_t>(c)];
+      }
+      if (any == 0) continue;
+      WarpCtx warp = blk.warp(w);
+      const int sm_base = w * kWarpSize;
+      const int lanes_in_warp = active_lanes(masks[0]);  // group 0 is densest
+
+      const index_t lo = warp.ld_broadcast(p_->A.rowptr, i, any);
+      const index_t hi = warp.ld_broadcast(p_->A.rowptr, i + 1, any);
+
+      std::array<Lanes<value_t>, CF> acc;
+      for (auto& a : acc) a = splat(Reduce::init());
+
+      for (index_t ptr = lo; ptr < hi; ptr += lanes_in_warp) {
+        const int tile = std::min<index_t>(lanes_in_warp, hi - ptr);
+        const LaneMask load_mask = first_lanes(tile);
+        const Lanes<index_t> kk = warp.ld_contig(p_->A.colind, ptr, load_mask);
+        const Lanes<value_t> vv = warp.ld_contig(p_->A.val, ptr, load_mask);
+        for (int l = 0; l < tile; ++l) {
+          sm_k[static_cast<std::size_t>(sm_base + l)] = kk[static_cast<std::size_t>(l)];
+          sm_v[static_cast<std::size_t>(sm_base + l)] = vv[static_cast<std::size_t>(l)];
+        }
+        warp.smem_store(static_cast<std::uint64_t>(tile) * sizeof(index_t));
+        warp.smem_store(static_cast<std::uint64_t>(tile) * sizeof(value_t));
+        warp.sync_warp();
+
+        for (int t = 0; t < tile; ++t) {
+          const index_t k = sm_k[static_cast<std::size_t>(sm_base + t)];
+          const value_t v = sm_v[static_cast<std::size_t>(sm_base + t)];
+          warp.smem_load(sizeof(index_t) + sizeof(value_t));
+          // CF independent B loads per tile element (Algorithm 3 lines
+          // 7-8) — the ILP the paper exploits.
+          for (int c = 0; c < CF; ++c) {
+            const LaneMask mc = masks[static_cast<std::size_t>(c)];
+            if (mc == 0) continue;
+            const Lanes<value_t> b = warp.ld_contig(
+                p_->B.device(), static_cast<std::int64_t>(k) * n + j0 + 32LL * c, mc);
+            auto& a = acc[static_cast<std::size_t>(c)];
+            for (int l = 0; l < kWarpSize; ++l) {
+              if (lane_active(mc, l)) {
+                a[static_cast<std::size_t>(l)] =
+                    Reduce::reduce(a[static_cast<std::size_t>(l)],
+                                   Reduce::combine(v, b[static_cast<std::size_t>(l)]));
+              }
+            }
+            warp.count_fma(static_cast<std::uint64_t>(active_lanes(mc)));
+          }
+          warp.count_inst(2);
+        }
+        warp.count_inst(2);
+      }
+
+      for (int c = 0; c < CF; ++c) {
+        const LaneMask mc = masks[static_cast<std::size_t>(c)];
+        if (mc == 0) continue;
+        auto& a = acc[static_cast<std::size_t>(c)];
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (lane_active(mc, l)) {
+            a[static_cast<std::size_t>(l)] =
+                Reduce::finalize(a[static_cast<std::size_t>(l)], hi - lo);
+          }
+        }
+        warp.st_contig(p_->C.device(), static_cast<std::int64_t>(i) * n + j0 + 32LL * c, a,
+                       mc);
+      }
+    }
+  }
+
+ private:
+  SpmmProblem* p_;
+  RowBlockMapping map_;
+};
+
+}  // namespace gespmm::kernels

@@ -1,0 +1,15 @@
+#include "kernels/spmm_ell.hpp"
+
+#include "kernels/registry.hpp"
+
+namespace gespmm::kernels {
+
+gpusim::LaunchResult run_spmm_ell(const EllDevice& ell, SpmmProblem& p,
+                                  const SpmmRunOptions& opt) {
+  return with_semiring(opt.reduce, [&]<typename R>() {
+    SpmmEllKernel<R> k(ell, p);
+    return gpusim::launch(opt.device, k, opt.sample);
+  });
+}
+
+}  // namespace gespmm::kernels

@@ -1,0 +1,150 @@
+#pragma once
+/// \file spmm_ell.hpp
+/// ELLPACK-R SpMM in the style of Fastspmm (paper ref [21]) — the earliest
+/// of the preprocess-based formats the paper contrasts against.
+///
+/// ELLPACK-R stores the matrix column-major with rows padded to the width
+/// of the longest row (plus a per-row length array that lets the kernel
+/// stop early). One *thread* per output row walking column-major slots
+/// makes the sparse loads perfectly coalesced across the warp's 32 rows —
+/// without any shared memory — which is why the format was attractive for
+/// SpMV-era kernels. Its failure mode on graphs is the padding: power-law
+/// degree distributions blow the padded width up by orders of magnitude
+/// (storage *and* zero-work), which is one of the reasons the paper rules
+/// out preprocessed formats for GNN frameworks.
+
+#include "gpusim/gpusim.hpp"
+#include "kernels/registry.hpp"
+#include "kernels/semiring.hpp"
+#include "kernels/spmm_problem.hpp"
+#include "sparse/ell.hpp"
+
+namespace gespmm::kernels {
+
+/// Device-resident ELLPACK-R operand.
+struct EllDevice {
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t width = 0;
+  gpusim::DeviceArray<index_t> colind;  // column-major rows x width
+  gpusim::DeviceArray<value_t> val;
+  gpusim::DeviceArray<index_t> rowlen;
+
+  explicit EllDevice(const sparse::EllR& e)
+      : rows(e.rows), cols(e.cols), width(e.width),
+        colind(std::span<const index_t>(e.colind)),
+        val(std::span<const value_t>(e.val)),
+        rowlen(std::span<const index_t>(e.rowlen)) {}
+};
+
+/// Warp layout: 32 consecutive rows per warp; each thread serially walks
+/// its row's slots (coalesced column-major sparse loads), and for each
+/// slot streams one 32-column chunk of B per lane-group iteration. Dense
+/// loads are *gathers* across the warp's 32 different k values — the
+/// structural weakness vs row-per-block layouts for SpMM (fine for SpMV,
+/// where this kernel family originated).
+template <typename Reduce = SumReduce>
+class SpmmEllKernel final : public gpusim::Kernel {
+ public:
+  static constexpr int kWarpsPerBlock = 4;
+
+  SpmmEllKernel(const EllDevice& ell, SpmmProblem& p) : e_(&ell), p_(&p) {}
+
+  gpusim::LaunchConfig config(const gpusim::DeviceSpec&) const override {
+    gpusim::LaunchConfig cfg;
+    cfg.grid = (static_cast<long long>(e_->rows) + kWarpsPerBlock * gpusim::kWarpSize - 1) /
+               (kWarpsPerBlock * gpusim::kWarpSize);
+    cfg.block = kWarpsPerBlock * gpusim::kWarpSize;
+    cfg.regs_per_thread = 30;
+    cfg.ilp = 1.0;
+    return cfg;
+  }
+
+  std::string name() const override { return "ellpack-r(fastspmm)"; }
+
+  void run_block(gpusim::BlockCtx& blk) const override {
+    using namespace gpusim;
+    const long long n = p_->n();
+    const long long rows = e_->rows;
+    for (int w = 0; w < blk.num_warps(); ++w) {
+      const long long r0 =
+          blk.block_id() * kWarpsPerBlock * kWarpSize + static_cast<long long>(w) * kWarpSize;
+      if (r0 >= rows) break;
+      const LaneMask row_mask =
+          (rows - r0) >= kWarpSize ? kFullMask : first_lanes(static_cast<int>(rows - r0));
+      WarpCtx warp = blk.warp(w);
+      const Lanes<index_t> len = warp.ld_contig(e_->rowlen, r0, row_mask);
+      index_t max_len = 0;
+      for (int l = 0; l < kWarpSize; ++l) {
+        if (lane_active(row_mask, l)) {
+          max_len = std::max(max_len, len[static_cast<std::size_t>(l)]);
+        }
+      }
+
+      // Process the output row in 32-column chunks; per chunk, walk the
+      // padded slots. Slot s of the warp's rows is contiguous in the
+      // column-major arrays — one coalesced transaction per slot.
+      for (long long j0 = 0; j0 < n; j0 += kWarpSize) {
+        const LaneMask col_mask = (n - j0) >= kWarpSize
+                                      ? kFullMask
+                                      : first_lanes(static_cast<int>(n - j0));
+        std::array<Lanes<value_t>, kWarpSize> acc;  // acc[l2] = row r0+l2's chunk
+        for (auto& a : acc) a = splat(Reduce::init());
+
+        for (index_t s = 0; s < max_len; ++s) {
+          LaneMask active = 0;
+          for (int l = 0; l < kWarpSize; ++l) {
+            if (lane_active(row_mask, l) && s < len[static_cast<std::size_t>(l)]) {
+              active |= (1u << l);
+            }
+          }
+          if (active == 0) break;
+          const std::int64_t slot_base = static_cast<std::int64_t>(s) * rows + r0;
+          const Lanes<index_t> kk = warp.ld_contig(e_->colind, slot_base, active);
+          const Lanes<value_t> vv = warp.ld_contig(e_->val, slot_base, active);
+          // Each active lane owns one row; its B row is broadcast across
+          // the chunk lanes one row at a time (shfl-rotated).
+          for (int l = 0; l < kWarpSize; ++l) {
+            if (!lane_active(active, l)) continue;
+            const index_t k = warp.shfl(kk, l);
+            const value_t v = warp.shfl(vv, l);
+            const Lanes<value_t> b = warp.ld_contig(
+                p_->B.device(), static_cast<std::int64_t>(k) * n + j0, col_mask);
+            auto& a = acc[static_cast<std::size_t>(l)];
+            for (int c = 0; c < kWarpSize; ++c) {
+              if (lane_active(col_mask, c)) {
+                a[static_cast<std::size_t>(c)] = Reduce::reduce(
+                    a[static_cast<std::size_t>(c)],
+                    Reduce::combine(v, b[static_cast<std::size_t>(c)]));
+              }
+            }
+            warp.count_fma(static_cast<std::uint64_t>(active_lanes(col_mask)));
+          }
+          warp.count_inst(3);
+        }
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (!lane_active(row_mask, l)) continue;
+          auto& a = acc[static_cast<std::size_t>(l)];
+          for (int c = 0; c < kWarpSize; ++c) {
+            if (lane_active(col_mask, c)) {
+              a[static_cast<std::size_t>(c)] = Reduce::finalize(
+                  a[static_cast<std::size_t>(c)], len[static_cast<std::size_t>(l)]);
+            }
+          }
+          warp.st_contig(p_->C.device(), (r0 + l) * n + j0, a, col_mask);
+        }
+        warp.count_inst(2);
+      }
+    }
+  }
+
+ private:
+  const EllDevice* e_;
+  SpmmProblem* p_;
+};
+
+/// Run the ELLPACK-R kernel (sum and SpMM-like reductions supported).
+gpusim::LaunchResult run_spmm_ell(const EllDevice& ell, SpmmProblem& p,
+                                  const SpmmRunOptions& opt = SpmmRunOptions());
+
+}  // namespace gespmm::kernels

@@ -1,0 +1,81 @@
+#pragma once
+/// \file spmm_gunrock.hpp
+/// SpMM written with a graph engine's `advance` primitive, as in the
+/// paper's GunRock comparison (Section V-D, Fig. 12). GunRock parallelizes
+/// over edges but offers no feature-dimension parallelism: each thread owns
+/// one edge and walks the feature vector *serially*, so at every feature
+/// index the warp's 32 lanes gather B rows of 32 different neighbours
+/// (uncoalesced) and accumulate into C with atomics. The paper measures
+/// GE-SpMM 18.27x faster on average; the access pattern alone explains it.
+
+#include "gpusim/gpusim.hpp"
+#include "kernels/semiring.hpp"
+#include "kernels/spmm_problem.hpp"
+
+namespace gespmm::kernels {
+
+class SpmmGunrockKernel final : public gpusim::Kernel {
+ public:
+  static constexpr int kBlockThreads = 256;
+
+  /// `edge_src` is GunRock's expanded edge frontier (source vertex per
+  /// edge), built once by the engine on the host.
+  SpmmGunrockKernel(SpmmProblem& p, const gpusim::DeviceArray<index_t>& edge_src)
+      : p_(&p), edge_src_(&edge_src) {}
+
+  gpusim::LaunchConfig config(const gpusim::DeviceSpec&) const override {
+    gpusim::LaunchConfig cfg;
+    cfg.grid = (static_cast<long long>(p_->A.nnz()) + kBlockThreads - 1) / kBlockThreads;
+    cfg.block = kBlockThreads;
+    cfg.regs_per_thread = 32;
+    return cfg;
+  }
+
+  std::string name() const override { return "advance(gunrock)"; }
+
+  void run_block(gpusim::BlockCtx& blk) const override {
+    using namespace gpusim;
+    const long long n = p_->n();
+    const long long nnz = p_->A.nnz();
+    for (int w = 0; w < blk.num_warps(); ++w) {
+      const long long e0 = blk.block_id() * kBlockThreads + static_cast<long long>(w) * kWarpSize;
+      if (e0 >= nnz) break;
+      const LaneMask mask = (nnz - e0) >= kWarpSize
+                                ? kFullMask
+                                : first_lanes(static_cast<int>(nnz - e0));
+      WarpCtx warp = blk.warp(w);
+      const Lanes<index_t> u = warp.ld_contig(*edge_src_, e0, mask);
+      const Lanes<index_t> v = warp.ld_contig(p_->A.colind, e0, mask);
+      const Lanes<value_t> av = warp.ld_contig(p_->A.val, e0, mask);
+
+      // Serial walk over the feature dimension: no column parallelism.
+      for (long long f = 0; f < n; ++f) {
+        Lanes<std::int64_t> bidx{}, cidx{};
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (!lane_active(mask, l)) continue;
+          bidx[static_cast<std::size_t>(l)] =
+              static_cast<std::int64_t>(v[static_cast<std::size_t>(l)]) * n + f;
+          cidx[static_cast<std::size_t>(l)] =
+              static_cast<std::int64_t>(u[static_cast<std::size_t>(l)]) * n + f;
+        }
+        const Lanes<value_t> b = warp.ld_gather(p_->B.device(), bidx, mask);
+        Lanes<value_t> contrib{};
+        for (int l = 0; l < kWarpSize; ++l) {
+          if (lane_active(mask, l)) {
+            contrib[static_cast<std::size_t>(l)] =
+                av[static_cast<std::size_t>(l)] * b[static_cast<std::size_t>(l)];
+          }
+        }
+        warp.count_fma(static_cast<std::uint64_t>(active_lanes(mask)));
+        warp.atomic_add_gather(p_->C.device(), cidx, contrib, mask);
+        warp.count_inst(2);
+      }
+    }
+  }
+
+ private:
+  SpmmProblem* p_;
+  const gpusim::DeviceArray<index_t>* edge_src_;
+};
+
+}  // namespace gespmm::kernels

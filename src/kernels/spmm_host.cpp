@@ -1,0 +1,38 @@
+#include "kernels/spmm_host.hpp"
+
+#include "sparse/rng.hpp"
+
+namespace gespmm::kernels {
+
+void spmm_host_reference(const sparse::Csr& a, const DenseMatrix& b, DenseMatrix& c,
+                         ReduceKind kind) {
+  with_semiring(kind, [&]<typename R>() { spmm_host_reference<R>(a, b, c); });
+}
+
+void spmm_host_parallel(const sparse::Csr& a, const DenseMatrix& b, DenseMatrix& c,
+                        ReduceKind kind) {
+  with_semiring(kind, [&]<typename R>() {
+    const index_t n = b.cols();
+#pragma omp parallel for schedule(dynamic, 64)
+    for (index_t i = 0; i < a.rows; ++i) {
+      const index_t lo = a.rowptr[static_cast<std::size_t>(i)];
+      const index_t hi = a.rowptr[static_cast<std::size_t>(i) + 1];
+      for (index_t j = 0; j < n; ++j) {
+        value_t acc = R::init();
+        for (index_t p = lo; p < hi; ++p) {
+          const index_t k = a.colind[static_cast<std::size_t>(p)];
+          acc = R::reduce(acc, R::combine(a.val[static_cast<std::size_t>(p)], b.at(k, j)));
+        }
+        c.at(i, j) = R::finalize(acc, hi - lo);
+      }
+    }
+  });
+}
+
+void fill_random(DenseMatrix& m, std::uint64_t seed, value_t lo, value_t hi) {
+  sparse::SplitMix64 rng(seed);
+  auto host = m.device().host();
+  for (auto& v : host) v = rng.next_float(lo, hi);
+}
+
+}  // namespace gespmm::kernels

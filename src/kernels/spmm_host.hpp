@@ -1,0 +1,40 @@
+#pragma once
+/// \file spmm_host.hpp
+/// Host (CPU) SpMM: the sequential gold reference used by tests, and an
+/// OpenMP-parallel version used for fast functional execution when only
+/// values (not device metrics) are needed — e.g. inside GNN training.
+
+#include "kernels/dense.hpp"
+#include "kernels/semiring.hpp"
+#include "sparse/csr.hpp"
+
+namespace gespmm::kernels {
+
+/// Sequential reference: C = reduce_op(A (*) B). C must be rows x N.
+template <typename Reduce>
+void spmm_host_reference(const sparse::Csr& a, const DenseMatrix& b, DenseMatrix& c) {
+  const index_t n = b.cols();
+  for (index_t i = 0; i < a.rows; ++i) {
+    const index_t lo = a.rowptr[static_cast<std::size_t>(i)];
+    const index_t hi = a.rowptr[static_cast<std::size_t>(i) + 1];
+    for (index_t j = 0; j < n; ++j) {
+      value_t acc = Reduce::init();
+      for (index_t p = lo; p < hi; ++p) {
+        const index_t k = a.colind[static_cast<std::size_t>(p)];
+        acc = Reduce::reduce(acc, Reduce::combine(a.val[static_cast<std::size_t>(p)], b.at(k, j)));
+      }
+      c.at(i, j) = Reduce::finalize(acc, hi - lo);
+    }
+  }
+}
+
+/// OpenMP-parallel host SpMM (same results; row-parallel so reduction
+/// order within a row is identical to the reference).
+void spmm_host_parallel(const sparse::Csr& a, const DenseMatrix& b, DenseMatrix& c,
+                        ReduceKind kind = ReduceKind::Sum);
+
+/// Convenience: run the reference for a runtime ReduceKind.
+void spmm_host_reference(const sparse::Csr& a, const DenseMatrix& b, DenseMatrix& c,
+                         ReduceKind kind);
+
+}  // namespace gespmm::kernels

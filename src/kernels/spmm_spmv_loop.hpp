@@ -1,0 +1,76 @@
+#pragma once
+/// \file spmm_spmv_loop.hpp
+/// The straightforward generalization the paper's Fig. 2 warns against:
+/// running a warp-per-row SpMV (Bell & Garland, paper ref [17]) once per
+/// output column. Each SpMV gathers B[k, j] with a fixed j across random
+/// rows k — stride-N access that coalesces terribly — and the whole matrix
+/// A is re-read N times. One instance of this kernel is a single-column
+/// SpMV; the registry loops it over all N columns and sums launches.
+
+#include "gpusim/gpusim.hpp"
+#include "kernels/semiring.hpp"
+#include "kernels/spmm_problem.hpp"
+
+namespace gespmm::kernels {
+
+template <typename Reduce = SumReduce>
+class SpmvColumnKernel final : public gpusim::Kernel {
+ public:
+  static constexpr int kWarpsPerBlock = 4;
+
+  SpmvColumnKernel(SpmmProblem& p, sparse::index_t column) : p_(&p), j_(column) {}
+
+  gpusim::LaunchConfig config(const gpusim::DeviceSpec&) const override {
+    gpusim::LaunchConfig cfg;
+    cfg.grid = (static_cast<long long>(p_->m()) + kWarpsPerBlock - 1) / kWarpsPerBlock;
+    cfg.block = kWarpsPerBlock * gpusim::kWarpSize;
+    cfg.regs_per_thread = 28;
+    return cfg;
+  }
+
+  std::string name() const override { return "spmv-loop"; }
+
+  void run_block(gpusim::BlockCtx& blk) const override {
+    using namespace gpusim;
+    const long long n = p_->n();
+    for (int w = 0; w < blk.num_warps(); ++w) {
+      const long long i = blk.block_id() * kWarpsPerBlock + w;
+      if (i >= p_->m()) break;
+      WarpCtx warp = blk.warp(w);
+      const index_t lo = warp.ld_broadcast(p_->A.rowptr, i, kFullMask);
+      const index_t hi = warp.ld_broadcast(p_->A.rowptr, i + 1, kFullMask);
+
+      // Lanes stride over the row; each lane gathers B[k_l, j] — the
+      // uncoalesced pattern of Fig. 2.
+      value_t warp_acc = Reduce::init();
+      for (index_t ptr = lo; ptr < hi; ptr += kWarpSize) {
+        const int tile = std::min<index_t>(kWarpSize, hi - ptr);
+        const LaneMask load_mask = first_lanes(tile);
+        const Lanes<index_t> kk = warp.ld_contig(p_->A.colind, ptr, load_mask);
+        const Lanes<value_t> vv = warp.ld_contig(p_->A.val, ptr, load_mask);
+        Lanes<std::int64_t> bidx{};
+        for (int l = 0; l < tile; ++l) {
+          bidx[static_cast<std::size_t>(l)] =
+              static_cast<std::int64_t>(kk[static_cast<std::size_t>(l)]) * n + j_;
+        }
+        const Lanes<value_t> b = warp.ld_gather(p_->B.device(), bidx, load_mask);
+        for (int l = 0; l < tile; ++l) {
+          warp_acc = Reduce::reduce(
+              warp_acc, Reduce::combine(vv[static_cast<std::size_t>(l)],
+                                        b[static_cast<std::size_t>(l)]));
+        }
+        warp.count_fma(static_cast<std::uint64_t>(tile));
+        // Warp tree reduction of lane partials (5 shuffles + 5 ops).
+        warp.count_inst(10 + 2);
+      }
+      Lanes<value_t> out = splat(Reduce::finalize(warp_acc, hi - lo));
+      warp.st_contig(p_->C.device(), i * n + j_, out, 0x1u);  // lane 0 stores
+    }
+  }
+
+ private:
+  SpmmProblem* p_;
+  sparse::index_t j_;
+};
+
+}  // namespace gespmm::kernels

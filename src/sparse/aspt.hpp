@@ -1,0 +1,86 @@
+#pragma once
+/// \file aspt.hpp
+/// ASpT-style adaptive sparse tiling (paper ref [14], PPoPP'19) — the
+/// strongest preprocess-based SpMM baseline the paper compares against
+/// (Table VIII).
+///
+/// Preprocessing partitions rows into panels and, within each panel,
+/// identifies "heavy" columns (columns referenced by at least
+/// `heavy_threshold` rows of the panel). Entries in heavy columns are
+/// regrouped into dense-ish tiles whose B-rows can be staged in shared
+/// memory once per panel and reused by every row of the panel; the
+/// remaining entries stay in a CSR-like "sparse leftover" stream. This is
+/// exactly the dense-matrix-reuse trade the real ASpT makes, and it is what
+/// GE-SpMM's sparse-side reuse is orthogonal to (paper Section V-E).
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace gespmm::sparse {
+
+struct AsptPanel {
+  index_t row_begin = 0;
+  index_t row_end = 0;
+  /// Heavy (reused) columns of this panel, tile-major: tiles of up to 32
+  /// columns each.
+  std::vector<index_t> heavy_cols;
+  /// CSR over the panel's rows containing only entries in heavy columns;
+  /// column indices are *positions into heavy_cols* (tile-local).
+  std::vector<index_t> heavy_rowptr;
+  std::vector<index_t> heavy_colpos;
+  std::vector<value_t> heavy_val;
+  /// CSR over the panel's rows with the leftover (light) entries, with
+  /// original column ids.
+  std::vector<index_t> light_rowptr;
+  std::vector<index_t> light_colind;
+  std::vector<value_t> light_val;
+
+  int num_tiles() const {
+    return static_cast<int>((heavy_cols.size() + 31) / 32);
+  }
+};
+
+struct AsptMatrix {
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t nnz = 0;
+  int panel_rows = 64;
+  std::vector<AsptPanel> panels;
+
+  index_t heavy_nnz = 0;
+  index_t light_nnz = 0;
+  /// Fraction of nnz placed in reusable heavy tiles.
+  double heavy_fraction() const {
+    return nnz > 0 ? static_cast<double>(heavy_nnz) / nnz : 0.0;
+  }
+};
+
+struct AsptBuildOptions {
+  int panel_rows = 128;
+  /// A column is heavy within a panel if at least this many of the panel's
+  /// rows reference it (ASpT's reuse condition).
+  int heavy_threshold = 3;
+};
+
+/// Build the ASpT representation. This is the *preprocessing pass* whose
+/// cost Table VIII charges against ASpT; `preprocess_cost_model_bytes`
+/// reports the device traffic it would generate (histogramming + regrouping
+/// reads/writes every entry a small number of times).
+struct AsptBuildResult {
+  AsptMatrix matrix;
+  /// Bytes a GPU implementation of the preprocess pass moves (used by the
+  /// cost model to price preprocessing in device time).
+  std::uint64_t preprocess_traffic_bytes = 0;
+  /// Host wall time actually spent building (informational).
+  double host_build_ms = 0.0;
+};
+
+AsptBuildResult build_aspt(const Csr& a, const AsptBuildOptions& opt = {});
+
+/// Reassemble a CSR from the ASpT representation (for validation: must
+/// equal the original up to within-row ordering).
+Csr aspt_to_csr(const AsptMatrix& m);
+
+}  // namespace gespmm::sparse

@@ -1,0 +1,25 @@
+#include "sparse/coo.hpp"
+
+namespace gespmm::sparse {
+
+Csr coo_to_csr(const Coo& coo) {
+  return csr_from_triplets(coo.rows, coo.cols, coo.row, coo.col, coo.val);
+}
+
+Coo csr_to_coo(const Csr& csr) {
+  Coo coo;
+  coo.rows = csr.rows;
+  coo.cols = csr.cols;
+  coo.row.reserve(csr.colind.size());
+  coo.col.reserve(csr.colind.size());
+  coo.val.reserve(csr.colind.size());
+  for (index_t i = 0; i < csr.rows; ++i) {
+    for (index_t p = csr.rowptr[static_cast<std::size_t>(i)];
+         p < csr.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      coo.push(i, csr.colind[static_cast<std::size_t>(p)], csr.val[static_cast<std::size_t>(p)]);
+    }
+  }
+  return coo;
+}
+
+}  // namespace gespmm::sparse

@@ -1,0 +1,33 @@
+#pragma once
+/// \file coo.hpp
+/// Coordinate-format matrices and conversion to/from CSR. COO is the
+/// interchange format used by MatrixMarket I/O and graph generators.
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace gespmm::sparse {
+
+struct Coo {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> row;
+  std::vector<index_t> col;
+  std::vector<value_t> val;
+
+  index_t nnz() const { return static_cast<index_t>(row.size()); }
+  void push(index_t r, index_t c, value_t v) {
+    row.push_back(r);
+    col.push_back(c);
+    val.push_back(v);
+  }
+};
+
+/// Convert to CSR, summing duplicate entries.
+Csr coo_to_csr(const Coo& coo);
+
+/// Expand a CSR back to triplets (row-major order).
+Coo csr_to_coo(const Csr& csr);
+
+}  // namespace gespmm::sparse

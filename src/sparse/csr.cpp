@@ -1,0 +1,191 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gespmm::sparse {
+
+index_t Csr::max_row_nnz() const {
+  index_t mx = 0;
+  for (index_t i = 0; i < rows; ++i) mx = std::max(mx, row_nnz(i));
+  return mx;
+}
+
+void Csr::validate() const {
+  if (rows < 0 || cols < 0) throw std::runtime_error("csr: negative dimensions");
+  if (rowptr.size() != static_cast<std::size_t>(rows) + 1) {
+    throw std::runtime_error("csr: rowptr size != rows + 1");
+  }
+  if (rowptr.front() != 0) throw std::runtime_error("csr: rowptr[0] != 0");
+  for (index_t i = 0; i < rows; ++i) {
+    if (rowptr[static_cast<std::size_t>(i) + 1] < rowptr[static_cast<std::size_t>(i)]) {
+      throw std::runtime_error("csr: rowptr not monotone at row " + std::to_string(i));
+    }
+  }
+  if (rowptr.back() != nnz()) throw std::runtime_error("csr: rowptr back != nnz");
+  if (colind.size() != val.size()) throw std::runtime_error("csr: colind/val size mismatch");
+  for (index_t c : colind) {
+    if (c < 0 || c >= cols) throw std::runtime_error("csr: column index out of range");
+  }
+}
+
+bool Csr::rows_sorted() const {
+  for (index_t i = 0; i < rows; ++i) {
+    for (index_t p = rowptr[static_cast<std::size_t>(i)] + 1;
+         p < rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      if (colind[static_cast<std::size_t>(p)] <= colind[static_cast<std::size_t>(p) - 1]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Csr::sort_rows() {
+  std::vector<std::pair<index_t, value_t>> tmp;
+  for (index_t i = 0; i < rows; ++i) {
+    const auto b = static_cast<std::size_t>(rowptr[static_cast<std::size_t>(i)]);
+    const auto e = static_cast<std::size_t>(rowptr[static_cast<std::size_t>(i) + 1]);
+    tmp.clear();
+    for (std::size_t p = b; p < e; ++p) tmp.emplace_back(colind[p], val[p]);
+    std::stable_sort(tmp.begin(), tmp.end(),
+                     [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (std::size_t p = b; p < e; ++p) {
+      colind[p] = tmp[p - b].first;
+      val[p] = tmp[p - b].second;
+    }
+  }
+}
+
+Csr transpose(const Csr& a) {
+  Csr t(a.cols, a.rows);
+  t.colind.resize(a.colind.size());
+  t.val.resize(a.val.size());
+  std::vector<index_t> count(static_cast<std::size_t>(a.cols) + 1, 0);
+  for (index_t c : a.colind) ++count[static_cast<std::size_t>(c) + 1];
+  std::partial_sum(count.begin(), count.end(), count.begin());
+  t.rowptr.assign(count.begin(), count.end());
+  std::vector<index_t> next(count.begin(), count.end() - 1);
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (index_t p = a.rowptr[static_cast<std::size_t>(i)];
+         p < a.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      const index_t c = a.colind[static_cast<std::size_t>(p)];
+      const index_t dst = next[static_cast<std::size_t>(c)]++;
+      t.colind[static_cast<std::size_t>(dst)] = i;
+      t.val[static_cast<std::size_t>(dst)] = a.val[static_cast<std::size_t>(p)];
+    }
+  }
+  return t;
+}
+
+Csr csr_from_triplets(index_t rows, index_t cols, std::span<const index_t> r,
+                      std::span<const index_t> c, std::span<const value_t> v) {
+  if (r.size() != c.size() || r.size() != v.size()) {
+    throw std::runtime_error("csr_from_triplets: span size mismatch");
+  }
+  std::vector<std::size_t> order(r.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return r[x] != r[y] ? r[x] < r[y] : c[x] < c[y];
+  });
+
+  Csr a(rows, cols);
+  a.colind.reserve(r.size());
+  a.val.reserve(r.size());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const std::size_t i = order[k];
+    if (r[i] < 0 || r[i] >= rows || c[i] < 0 || c[i] >= cols) {
+      throw std::runtime_error("csr_from_triplets: index out of range");
+    }
+    if (!a.colind.empty() && k > 0) {
+      const std::size_t prev = order[k - 1];
+      if (r[prev] == r[i] && c[prev] == c[i]) {
+        a.val.back() += v[i];  // merge duplicates
+        continue;
+      }
+    }
+    a.colind.push_back(c[i]);
+    a.val.push_back(v[i]);
+    ++a.rowptr[static_cast<std::size_t>(r[i]) + 1];
+  }
+  std::partial_sum(a.rowptr.begin(), a.rowptr.end(), a.rowptr.begin());
+  return a;
+}
+
+Csr gcn_normalize(const Csr& a) {
+  if (a.rows != a.cols) throw std::runtime_error("gcn_normalize: matrix must be square");
+  // Build A + I triplets.
+  std::vector<index_t> r, c;
+  std::vector<value_t> v;
+  r.reserve(a.colind.size() + static_cast<std::size_t>(a.rows));
+  c.reserve(r.capacity());
+  v.reserve(r.capacity());
+  for (index_t i = 0; i < a.rows; ++i) {
+    r.push_back(i);
+    c.push_back(i);
+    v.push_back(1.0f);
+    for (index_t p = a.rowptr[static_cast<std::size_t>(i)];
+         p < a.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      r.push_back(i);
+      c.push_back(a.colind[static_cast<std::size_t>(p)]);
+      v.push_back(a.val[static_cast<std::size_t>(p)]);
+    }
+  }
+  Csr ai = csr_from_triplets(a.rows, a.cols, r, c, v);
+  std::vector<double> deg(static_cast<std::size_t>(a.rows), 0.0);
+  for (index_t i = 0; i < ai.rows; ++i) {
+    for (index_t p = ai.rowptr[static_cast<std::size_t>(i)];
+         p < ai.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      deg[static_cast<std::size_t>(i)] += ai.val[static_cast<std::size_t>(p)];
+    }
+  }
+  for (index_t i = 0; i < ai.rows; ++i) {
+    const double di = deg[static_cast<std::size_t>(i)] > 0 ? 1.0 / std::sqrt(deg[static_cast<std::size_t>(i)]) : 0.0;
+    for (index_t p = ai.rowptr[static_cast<std::size_t>(i)];
+         p < ai.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      const index_t j = ai.colind[static_cast<std::size_t>(p)];
+      const double dj = deg[static_cast<std::size_t>(j)] > 0 ? 1.0 / std::sqrt(deg[static_cast<std::size_t>(j)]) : 0.0;
+      ai.val[static_cast<std::size_t>(p)] =
+          static_cast<value_t>(ai.val[static_cast<std::size_t>(p)] * di * dj);
+    }
+  }
+  return ai;
+}
+
+Csr row_normalize(const Csr& a) {
+  Csr out = a;
+  for (index_t i = 0; i < out.rows; ++i) {
+    double sum = 0.0;
+    for (index_t p = out.rowptr[static_cast<std::size_t>(i)];
+         p < out.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      sum += out.val[static_cast<std::size_t>(p)];
+    }
+    if (sum == 0.0) continue;
+    for (index_t p = out.rowptr[static_cast<std::size_t>(i)];
+         p < out.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      out.val[static_cast<std::size_t>(p)] =
+          static_cast<value_t>(out.val[static_cast<std::size_t>(p)] / sum);
+    }
+  }
+  return out;
+}
+
+DegreeStats degree_stats(const Csr& a) {
+  DegreeStats s;
+  if (a.rows == 0) return s;
+  s.min = a.row_nnz(0);
+  double sum = 0.0, sq = 0.0;
+  for (index_t i = 0; i < a.rows; ++i) {
+    const index_t d = a.row_nnz(i);
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    sum += d;
+    sq += static_cast<double>(d) * d;
+  }
+  s.mean = sum / a.rows;
+  s.stddev = std::sqrt(std::max(0.0, sq / a.rows - s.mean * s.mean));
+  return s;
+}
+
+}  // namespace gespmm::sparse

@@ -1,0 +1,73 @@
+#pragma once
+/// \file csr.hpp
+/// Compressed Sparse Row matrices — the universal, conversion-free format
+/// GE-SpMM operates on (paper Section III-A, Fig. 4).
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gespmm::sparse {
+
+using index_t = std::int32_t;
+using value_t = float;
+
+/// A CSR sparse matrix: rowptr (rows+1), colind (nnz), val (nnz).
+struct Csr {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> rowptr{0};
+  std::vector<index_t> colind;
+  std::vector<value_t> val;
+
+  Csr() = default;
+  Csr(index_t r, index_t c) : rows(r), cols(c), rowptr(static_cast<std::size_t>(r) + 1, 0) {}
+
+  index_t nnz() const { return static_cast<index_t>(colind.size()); }
+  index_t row_nnz(index_t i) const {
+    return rowptr[static_cast<std::size_t>(i) + 1] - rowptr[static_cast<std::size_t>(i)];
+  }
+  double avg_row_nnz() const {
+    return rows > 0 ? static_cast<double>(nnz()) / rows : 0.0;
+  }
+  index_t max_row_nnz() const;
+
+  /// Throws std::runtime_error on structural problems (monotone rowptr,
+  /// in-range column indices, array size agreement).
+  void validate() const;
+
+  /// True if every row's column indices are strictly increasing.
+  bool rows_sorted() const;
+  /// Sort each row by column index (stable for values).
+  void sort_rows();
+
+  bool operator==(const Csr& o) const = default;
+};
+
+/// Transpose (also converts between in-edge and out-edge adjacency).
+Csr transpose(const Csr& a);
+
+/// Build a CSR from (row, col, value) triplets; duplicates are summed.
+Csr csr_from_triplets(index_t rows, index_t cols,
+                      std::span<const index_t> r, std::span<const index_t> c,
+                      std::span<const value_t> v);
+
+/// Symmetrically normalized GCN propagation matrix over A + I:
+/// D^{-1/2} (A + I) D^{-1/2}, treating existing values as edge weights.
+Csr gcn_normalize(const Csr& a);
+
+/// Row-normalized (mean-aggregation) matrix: D^{-1} A.
+Csr row_normalize(const Csr& a);
+
+/// Degree (row-length) summary used by dataset listings.
+struct DegreeStats {
+  index_t min = 0;
+  index_t max = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+DegreeStats degree_stats(const Csr& a);
+
+}  // namespace gespmm::sparse

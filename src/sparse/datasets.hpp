@@ -1,0 +1,62 @@
+#pragma once
+/// \file datasets.hpp
+/// The evaluation datasets of the paper, synthesized deterministically:
+///  - Cora / Citeseer / Pubmed citation graphs with the published vertex,
+///    edge, class and feature counts (paper Table IV),
+///  - the three uniform random profiling matrices of Tables V/VI and
+///    Fig. 3 (16K/160K, 65K/650K, 262K/2.6M),
+///  - a 64-graph SNAP-like suite spanning the SuiteSparse SNAP group's
+///    size/skew range at laptop scale (paper Section V-A: M from 1005 to
+///    4.8M and nnz/row from 1.58 to 32.53; we span M from ~1K to ~300K
+///    with the same nnz/row range — see DESIGN.md for the substitution).
+
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace gespmm::sparse {
+
+/// A graph plus GNN metadata.
+struct GraphDataset {
+  std::string name;
+  Csr adj;
+  int feature_dim = 0;
+  int num_classes = 0;
+};
+
+/// Cora: 2708 vertices, 5429 edges, 7 classes, 1433 features.
+GraphDataset cora();
+/// Citeseer: 3327 vertices, 4732 edges, 6 classes, 3703 features.
+GraphDataset citeseer();
+/// Pubmed: 19717 vertices, 44338 edges, 3 classes, 500 features.
+GraphDataset pubmed();
+/// All three, in the paper's order.
+std::vector<GraphDataset> citation_suite();
+
+/// The synthetic uniform random profiling matrices of Section V-B.
+Csr profile_matrix_16k();   // M = 16384,  nnz ~ 160K
+Csr profile_matrix_65k();   // M = 65536,  nnz ~ 650K
+Csr profile_matrix_262k();  // M = 262144, nnz ~ 2.6M
+
+/// One entry of the SNAP-like suite.
+struct SnapEntry {
+  std::string name;
+  Csr matrix;
+};
+
+/// The 64-graph SNAP-like suite, sorted by name (the paper's matrix_id is
+/// the alphabetical rank). `size_factor` in (0, 1] scales every graph's
+/// vertex count — tests use small factors, benches the full size.
+std::vector<SnapEntry> snap_suite(double size_factor = 1.0);
+
+/// Names only (cheap; used for reporting without building all matrices).
+std::vector<std::string> snap_suite_names();
+
+/// Build a single suite entry by alphabetical index (0-based).
+SnapEntry snap_suite_entry(int index, double size_factor = 1.0);
+
+/// Number of graphs in the suite.
+int snap_suite_size();
+
+}  // namespace gespmm::sparse

@@ -1,0 +1,47 @@
+#include "sparse/ell.hpp"
+
+namespace gespmm::sparse {
+
+EllR csr_to_ell(const Csr& a) {
+  EllR e;
+  e.rows = a.rows;
+  e.cols = a.cols;
+  e.width = a.max_row_nnz();
+  e.colind.assign(e.padded_entries(), 0);
+  e.val.assign(e.padded_entries(), 0.0f);
+  e.rowlen.resize(static_cast<std::size_t>(a.rows));
+  for (index_t i = 0; i < a.rows; ++i) {
+    const index_t len = a.row_nnz(i);
+    e.rowlen[static_cast<std::size_t>(i)] = len;
+    for (index_t s = 0; s < len; ++s) {
+      const auto src = static_cast<std::size_t>(a.rowptr[static_cast<std::size_t>(i)] + s);
+      const auto dst = static_cast<std::size_t>(s) * static_cast<std::size_t>(a.rows) +
+                       static_cast<std::size_t>(i);
+      e.colind[dst] = a.colind[src];
+      e.val[dst] = a.val[src];
+    }
+  }
+  return e;
+}
+
+Csr ell_to_csr(const EllR& e) {
+  Csr a(e.rows, e.cols);
+  for (index_t i = 0; i < e.rows; ++i) {
+    a.rowptr[static_cast<std::size_t>(i) + 1] =
+        a.rowptr[static_cast<std::size_t>(i)] + e.rowlen[static_cast<std::size_t>(i)];
+  }
+  a.colind.resize(static_cast<std::size_t>(a.rowptr.back()));
+  a.val.resize(a.colind.size());
+  for (index_t i = 0; i < e.rows; ++i) {
+    for (index_t s = 0; s < e.rowlen[static_cast<std::size_t>(i)]; ++s) {
+      const auto src = static_cast<std::size_t>(s) * static_cast<std::size_t>(e.rows) +
+                       static_cast<std::size_t>(i);
+      const auto dst = static_cast<std::size_t>(a.rowptr[static_cast<std::size_t>(i)] + s);
+      a.colind[dst] = e.colind[src];
+      a.val[dst] = e.val[src];
+    }
+  }
+  return a;
+}
+
+}  // namespace gespmm::sparse

@@ -1,0 +1,40 @@
+#pragma once
+/// \file ell.hpp
+/// ELLPACK-R storage (Fastspmm's format, paper ref [21]) — one of the
+/// preprocess-based formats the paper contrasts against. Stored
+/// column-major with per-row lengths so warps read aligned columns.
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace gespmm::sparse {
+
+struct EllR {
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t width = 0;  ///< max row length (padded width)
+  /// Column-major rows x width arrays: element (i, s) at s*rows + i.
+  std::vector<index_t> colind;
+  std::vector<value_t> val;
+  std::vector<index_t> rowlen;
+
+  std::size_t padded_entries() const {
+    return static_cast<std::size_t>(rows) * static_cast<std::size_t>(width);
+  }
+  /// Fraction of storage wasted on padding.
+  double padding_overhead(index_t nnz) const {
+    return padded_entries() == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(nnz) / static_cast<double>(padded_entries());
+  }
+};
+
+/// Convert CSR to ELLPACK-R. Memory grows with rows*max_row_nnz; conversion
+/// is the preprocessing cost this format pays.
+EllR csr_to_ell(const Csr& a);
+
+/// Convert back (drops padding).
+Csr ell_to_csr(const EllR& e);
+
+}  // namespace gespmm::sparse

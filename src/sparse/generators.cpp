@@ -1,0 +1,126 @@
+#include "sparse/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/rng.hpp"
+
+namespace gespmm::sparse {
+
+Csr uniform_random(index_t rows, index_t cols, std::int64_t nnz_target,
+                   std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  Coo coo;
+  coo.rows = rows;
+  coo.cols = cols;
+  coo.row.reserve(static_cast<std::size_t>(nnz_target));
+  coo.col.reserve(static_cast<std::size_t>(nnz_target));
+  coo.val.reserve(static_cast<std::size_t>(nnz_target));
+  for (std::int64_t e = 0; e < nnz_target; ++e) {
+    const auto r = static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(rows)));
+    const auto c = static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(cols)));
+    coo.push(r, c, rng.next_float(0.25f, 1.0f));
+  }
+  Csr a = coo_to_csr(coo);
+  // Duplicate merges added values together; rescale into [0.25, 1) to keep
+  // values well-conditioned for float comparisons in tests.
+  for (auto& v : a.val) v = 0.25f + std::fmod(v, 0.75f);
+  return a;
+}
+
+Csr rmat(int scale, double edge_factor, double a, double b, double c,
+         std::uint64_t seed) {
+  const index_t n = static_cast<index_t>(1) << scale;
+  const auto edges = static_cast<std::int64_t>(edge_factor * n);
+  const double d = 1.0 - a - b - c;
+  if (d < 0) throw std::runtime_error("rmat: a+b+c must be <= 1");
+  SplitMix64 rng(seed);
+  Coo coo;
+  coo.rows = n;
+  coo.cols = n;
+  for (std::int64_t e = 0; e < edges; ++e) {
+    index_t r = 0, col = 0;
+    for (int bit = scale - 1; bit >= 0; --bit) {
+      const double p = rng.next_double();
+      if (p < a) {
+        // top-left quadrant: nothing to set
+      } else if (p < a + b) {
+        col |= static_cast<index_t>(1) << bit;
+      } else if (p < a + b + c) {
+        r |= static_cast<index_t>(1) << bit;
+      } else {
+        r |= static_cast<index_t>(1) << bit;
+        col |= static_cast<index_t>(1) << bit;
+      }
+    }
+    coo.push(r, col, rng.next_float(0.25f, 1.0f));
+  }
+  Csr m = coo_to_csr(coo);
+  for (auto& v : m.val) v = 0.25f + std::fmod(v, 0.75f);
+  return m;
+}
+
+Csr grid_road(index_t n_approx, double shortcut_fraction, std::uint64_t seed) {
+  const auto side = static_cast<index_t>(std::max(2.0, std::sqrt(static_cast<double>(n_approx))));
+  const index_t n = side * side;
+  SplitMix64 rng(seed);
+  Coo coo;
+  coo.rows = n;
+  coo.cols = n;
+  auto vid = [side](index_t x, index_t y) { return x * side + y; };
+  for (index_t x = 0; x < side; ++x) {
+    for (index_t y = 0; y < side; ++y) {
+      const index_t u = vid(x, y);
+      if (x + 1 < side) {
+        coo.push(u, vid(x + 1, y), 1.0f);
+        coo.push(vid(x + 1, y), u, 1.0f);
+      }
+      if (y + 1 < side) {
+        coo.push(u, vid(x, y + 1), 1.0f);
+        coo.push(vid(x, y + 1), u, 1.0f);
+      }
+    }
+  }
+  const auto shortcuts = static_cast<std::int64_t>(shortcut_fraction * n);
+  for (std::int64_t s = 0; s < shortcuts; ++s) {
+    const auto u = static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+    coo.push(u, v, 1.0f);
+  }
+  Csr m = coo_to_csr(coo);
+  for (auto& v : m.val) v = 1.0f;
+  return m;
+}
+
+Csr citation_graph(index_t vertices, std::int64_t edges, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  Coo coo;
+  coo.rows = vertices;
+  coo.cols = vertices;
+  // Preferential attachment over a growing endpoint pool: each new edge's
+  // destination is either uniform (prob 0.5) or a previously used endpoint,
+  // producing the mild degree skew of citation networks.
+  std::vector<index_t> pool;
+  pool.reserve(static_cast<std::size_t>(edges));
+  for (std::int64_t e = 0; e < edges; ++e) {
+    const auto u = static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(vertices)));
+    index_t v;
+    if (!pool.empty() && rng.next_double() < 0.5) {
+      v = pool[rng.next_below(pool.size())];
+    } else {
+      v = static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(vertices)));
+    }
+    if (u == v) {
+      v = static_cast<index_t>((v + 1) % vertices);
+    }
+    coo.push(u, v, 1.0f);
+    pool.push_back(v);
+  }
+  Csr m = coo_to_csr(coo);
+  for (auto& v : m.val) v = 1.0f;
+  return m;
+}
+
+}  // namespace gespmm::sparse

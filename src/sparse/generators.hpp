@@ -1,0 +1,35 @@
+#pragma once
+/// \file generators.hpp
+/// Deterministic graph/matrix generators used to synthesize the paper's
+/// workloads: uniform random graphs (Ligra's rand generator, used for the
+/// profiling matrices of Tables V/VI and Fig. 3), RMAT power-law graphs
+/// (SNAP-style social/web graphs), 2D-grid road networks, and
+/// citation-style graphs matching Cora/Citeseer/Pubmed statistics.
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace gespmm::sparse {
+
+/// Uniform random directed graph: `nnz_target` edges with independently
+/// uniform endpoints; duplicates merged (actual nnz <= target, close for
+/// sparse matrices). Values uniform in [0.25, 1). This reproduces Ligra's
+/// `rand` generator used by the paper for its profiling matrices.
+Csr uniform_random(index_t rows, index_t cols, std::int64_t nnz_target,
+                   std::uint64_t seed);
+
+/// RMAT recursive-partition generator (Graph500 style). `scale` gives
+/// 2^scale vertices; edge_factor edges per vertex. a+b+c+d must be ~1.
+Csr rmat(int scale, double edge_factor, double a, double b, double c,
+         std::uint64_t seed);
+
+/// Road-network-like graph: sqrt(n) x sqrt(n) 4-neighbour grid with a few
+/// random shortcuts; very low, near-uniform degree (nnz/row ~ 2-4).
+Csr grid_road(index_t n_approx, double shortcut_fraction, std::uint64_t seed);
+
+/// Citation-style graph: preferential attachment with `mean_degree`
+/// out-edges per new vertex, yielding mild skew like Cora/Citeseer/Pubmed.
+Csr citation_graph(index_t vertices, std::int64_t edges, std::uint64_t seed);
+
+}  // namespace gespmm::sparse

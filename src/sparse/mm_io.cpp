@@ -1,0 +1,95 @@
+#include "sparse/mm_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "sparse/coo.hpp"
+
+namespace gespmm::sparse {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+Csr read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("mm: empty stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") throw std::runtime_error("mm: missing banner");
+  if (lower(object) != "matrix" || lower(format) != "coordinate") {
+    throw std::runtime_error("mm: only coordinate matrices are supported");
+  }
+  field = lower(field);
+  symmetry = lower(symmetry);
+  if (field != "real" && field != "integer" && field != "pattern") {
+    throw std::runtime_error("mm: unsupported field: " + field);
+  }
+  if (symmetry != "general" && symmetry != "symmetric") {
+    throw std::runtime_error("mm: unsupported symmetry: " + symmetry);
+  }
+
+  // Skip comments, read size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  long long rows = 0, cols = 0, entries = 0;
+  if (!(size_line >> rows >> cols >> entries)) {
+    throw std::runtime_error("mm: bad size line");
+  }
+
+  Coo coo;
+  coo.rows = static_cast<index_t>(rows);
+  coo.cols = static_cast<index_t>(cols);
+  for (long long k = 0; k < entries; ++k) {
+    if (!std::getline(in, line)) throw std::runtime_error("mm: truncated entries");
+    std::istringstream e(line);
+    long long r = 0, c = 0;
+    double v = 1.0;
+    if (!(e >> r >> c)) throw std::runtime_error("mm: bad entry line");
+    if (field != "pattern" && !(e >> v)) throw std::runtime_error("mm: missing value");
+    const auto ri = static_cast<index_t>(r - 1);
+    const auto ci = static_cast<index_t>(c - 1);
+    coo.push(ri, ci, static_cast<value_t>(v));
+    if (symmetry == "symmetric" && ri != ci) coo.push(ci, ri, static_cast<value_t>(v));
+  }
+  Csr out = coo_to_csr(coo);
+  out.validate();
+  return out;
+}
+
+Csr read_matrix_market_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("mm: cannot open " + path);
+  return read_matrix_market(f);
+}
+
+void write_matrix_market(std::ostream& out, const Csr& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by gespmm\n";
+  out << a.rows << ' ' << a.cols << ' ' << a.nnz() << '\n';
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (index_t p = a.rowptr[static_cast<std::size_t>(i)];
+         p < a.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      out << (i + 1) << ' ' << (a.colind[static_cast<std::size_t>(p)] + 1) << ' '
+          << a.val[static_cast<std::size_t>(p)] << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const Csr& a) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("mm: cannot open " + path + " for writing");
+  write_matrix_market(f, a);
+}
+
+}  // namespace gespmm::sparse

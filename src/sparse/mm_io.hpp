@@ -1,0 +1,26 @@
+#pragma once
+/// \file mm_io.hpp
+/// MatrixMarket coordinate I/O so the suite can also run on real
+/// SuiteSparse downloads (the paper uses the SuiteSparse SNAP group).
+/// Supports `real`/`integer`/`pattern` fields and `general`/`symmetric`
+/// symmetry.
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace gespmm::sparse {
+
+/// Parse a MatrixMarket stream. Throws std::runtime_error on malformed
+/// input.
+Csr read_matrix_market(std::istream& in);
+
+/// Load from a file path.
+Csr read_matrix_market_file(const std::string& path);
+
+/// Write in `matrix coordinate real general` format (1-based indices).
+void write_matrix_market(std::ostream& out, const Csr& a);
+void write_matrix_market_file(const std::string& path, const Csr& a);
+
+}  // namespace gespmm::sparse

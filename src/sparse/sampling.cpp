@@ -1,0 +1,92 @@
+#include "sparse/sampling.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sparse/coo.hpp"
+#include "sparse/rng.hpp"
+
+namespace gespmm::sparse {
+
+SampledBlock sample_neighbors(const Csr& graph, std::span<const index_t> batch,
+                              const SampleOptions& opt) {
+  SplitMix64 rng(opt.seed);
+  SampledBlock block;
+  block.output_nodes.assign(batch.begin(), batch.end());
+
+  // Input nodes: output nodes first (self features are always needed),
+  // then newly discovered neighbours in sampling order.
+  std::unordered_map<index_t, index_t> input_pos;
+  for (index_t v : batch) {
+    if (input_pos.emplace(v, static_cast<index_t>(block.input_nodes.size())).second) {
+      block.input_nodes.push_back(v);
+    }
+  }
+
+  Coo coo;
+  std::vector<index_t> candidates;
+  for (std::size_t bi = 0; bi < batch.size(); ++bi) {
+    const index_t v = batch[bi];
+    const index_t lo = graph.rowptr[static_cast<std::size_t>(v)];
+    const index_t hi = graph.rowptr[static_cast<std::size_t>(v) + 1];
+    candidates.clear();
+    for (index_t p = lo; p < hi; ++p) candidates.push_back(p);
+    // Uniform without replacement up to the fanout (Fisher-Yates prefix).
+    const int keep = opt.fanout > 0
+                         ? std::min<int>(opt.fanout, static_cast<int>(candidates.size()))
+                         : static_cast<int>(candidates.size());
+    for (int k = 0; k < keep; ++k) {
+      const auto swap_with =
+          k + static_cast<int>(rng.next_below(candidates.size() - static_cast<std::size_t>(k)));
+      std::swap(candidates[static_cast<std::size_t>(k)],
+                candidates[static_cast<std::size_t>(swap_with)]);
+      const index_t p = candidates[static_cast<std::size_t>(k)];
+      const index_t u = graph.colind[static_cast<std::size_t>(p)];
+      auto [it, inserted] =
+          input_pos.emplace(u, static_cast<index_t>(block.input_nodes.size()));
+      if (inserted) block.input_nodes.push_back(u);
+      coo.push(static_cast<index_t>(bi), it->second, 1.0f);
+    }
+  }
+  coo.rows = static_cast<index_t>(block.output_nodes.size());
+  coo.cols = static_cast<index_t>(block.input_nodes.size());
+  block.adj = coo_to_csr(coo);
+  block.adj = row_normalize(block.adj);  // mean aggregation weights
+  return block;
+}
+
+std::vector<SampledBlock> sample_blocks(const Csr& graph, std::span<const index_t> batch,
+                                        int num_layers, const SampleOptions& opt) {
+  // Sample from the batch outward, then reverse so application order is
+  // deepest-first.
+  std::vector<SampledBlock> blocks;
+  std::vector<index_t> frontier(batch.begin(), batch.end());
+  for (int l = 0; l < num_layers; ++l) {
+    SampleOptions o = opt;
+    o.seed = opt.seed * 1315423911u + static_cast<std::uint64_t>(l) + 1;
+    blocks.push_back(sample_neighbors(graph, frontier, o));
+    frontier = blocks.back().input_nodes;
+  }
+  std::reverse(blocks.begin(), blocks.end());
+  return blocks;
+}
+
+std::vector<std::vector<index_t>> make_batches(index_t num_nodes, index_t batch_size,
+                                               std::uint64_t seed) {
+  if (batch_size <= 0) throw std::invalid_argument("make_batches: batch_size must be > 0");
+  std::vector<index_t> order(static_cast<std::size_t>(num_nodes));
+  for (index_t i = 0; i < num_nodes; ++i) order[static_cast<std::size_t>(i)] = i;
+  SplitMix64 rng(seed);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+  std::vector<std::vector<index_t>> batches;
+  for (std::size_t start = 0; start < order.size(); start += static_cast<std::size_t>(batch_size)) {
+    const auto end = std::min(order.size(), start + static_cast<std::size_t>(batch_size));
+    batches.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(start),
+                         order.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return batches;
+}
+
+}  // namespace gespmm::sparse

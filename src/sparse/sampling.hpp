@@ -1,0 +1,52 @@
+#pragma once
+/// \file sampling.hpp
+/// GraphSAGE-style neighbour sampling (paper refs [4], [22]).
+///
+/// Sampled batch training draws a fresh subgraph every batch — the
+/// setting the paper's introduction uses to argue that preprocess-based
+/// SpMM formats cannot amortize their conversion cost: the operand
+/// changes on every step, so only a conversion-free CSR kernel fits.
+/// This module produces those per-batch operands.
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace gespmm::sparse {
+
+/// A sampled computation block: the bipartite aggregation operand from
+/// `input_nodes` (columns) to `output_nodes` (rows), in CSR.
+struct SampledBlock {
+  /// Rows of `adj`: the batch nodes whose representations are computed.
+  std::vector<index_t> output_nodes;
+  /// Columns of `adj`: the union of sampled neighbours (includes the
+  /// output nodes themselves, listed first).
+  std::vector<index_t> input_nodes;
+  /// output_nodes.size() x input_nodes.size() aggregation operand with
+  /// uniform weights 1/deg (mean aggregation).
+  Csr adj;
+};
+
+struct SampleOptions {
+  /// Max neighbours kept per node (GraphSAGE's fanout). <= 0 keeps all.
+  int fanout = 10;
+  std::uint64_t seed = 0;
+};
+
+/// Sample one hop of neighbourhood for `batch` nodes of `graph`.
+SampledBlock sample_neighbors(const Csr& graph, std::span<const index_t> batch,
+                              const SampleOptions& opt);
+
+/// Multi-layer sampling: layer l aggregates into layer l-1's inputs, so
+/// blocks are produced deepest-first (blocks[0] touches the full fanout
+/// frontier; blocks.back() outputs the batch nodes), ready to be applied
+/// in order during the forward pass.
+std::vector<SampledBlock> sample_blocks(const Csr& graph, std::span<const index_t> batch,
+                                        int num_layers, const SampleOptions& opt);
+
+/// Deterministic mini-batch node partition (shuffled round-robin).
+std::vector<std::vector<index_t>> make_batches(index_t num_nodes, index_t batch_size,
+                                               std::uint64_t seed);
+
+}  // namespace gespmm::sparse

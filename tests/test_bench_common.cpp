@@ -1,0 +1,78 @@
+/// bench_common utilities: geometric mean, table formatting, CLI parsing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_common/bench_common.hpp"
+
+namespace gespmm::bench {
+namespace {
+
+TEST(Geomean, KnownValues) {
+  const std::vector<double> xs{1.0, 4.0};
+  EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+  const std::vector<double> ys{2.0, 2.0, 2.0};
+  EXPECT_NEAR(geomean(ys), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomean(std::vector<double>{}), 0.0);
+}
+
+TEST(Geomean, InsensitiveToOrder) {
+  const std::vector<double> a{0.5, 3.0, 1.7, 9.1};
+  const std::vector<double> b{9.1, 0.5, 1.7, 3.0};
+  EXPECT_NEAR(geomean(a), geomean(b), 1e-12);
+}
+
+TEST(TableFmt, Precision) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt(1.5, 0), "2");
+  EXPECT_EQ(Table::fmt(0.1234, 4), "0.1234");
+}
+
+TEST(Options, Defaults) {
+  char prog[] = "bench";
+  char* argv[] = {prog};
+  const auto opt = Options::parse(1, argv);
+  EXPECT_EQ(opt.devices.size(), 2u);
+  EXPECT_DOUBLE_EQ(opt.snap_scale, 0.25);
+  EXPECT_EQ(opt.max_graphs, 64);
+}
+
+TEST(Options, ParsesDeviceAndScale) {
+  char prog[] = "bench";
+  char dev[] = "--device=rtx2080";
+  char scale[] = "--snap-scale=0.5";
+  char maxg[] = "--max-graphs=7";
+  char sb[] = "--sample-blocks=99";
+  char* argv[] = {prog, dev, scale, maxg, sb};
+  const auto opt = Options::parse(5, argv);
+  ASSERT_EQ(opt.devices.size(), 1u);
+  EXPECT_EQ(opt.devices[0].name, "rtx2080");
+  EXPECT_DOUBLE_EQ(opt.snap_scale, 0.5);
+  EXPECT_EQ(opt.max_graphs, 7);
+  EXPECT_EQ(opt.sample_blocks, 99u);
+}
+
+TEST(Options, FullFlag) {
+  char prog[] = "bench";
+  char full[] = "--full";
+  char* argv[] = {prog, full};
+  EXPECT_DOUBLE_EQ(Options::parse(2, argv).snap_scale, 1.0);
+}
+
+TEST(Options, RejectsUnknownFlag) {
+  char prog[] = "bench";
+  char bogus[] = "--bogus";
+  char* argv[] = {prog, bogus};
+  EXPECT_THROW(Options::parse(2, argv), std::invalid_argument);
+}
+
+TEST(Options, RejectsUnknownDevice) {
+  char prog[] = "bench";
+  char dev[] = "--device=tpu";
+  char* argv[] = {prog, dev};
+  EXPECT_THROW(Options::parse(2, argv), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gespmm::bench

@@ -1,0 +1,137 @@
+/// Public API contract tests: gespmm::spmm / spmm_like / profile_spmm.
+
+#include <gtest/gtest.h>
+
+#include "core/gespmm.hpp"
+#include "kernels/spmm_host.hpp"
+#include "sparse/generators.hpp"
+#include "test_util.hpp"
+
+namespace gespmm {
+namespace {
+
+TEST(CoreApi, SpmmMatchesReference) {
+  const Csr a = sparse::uniform_random(300, 280, 2500, 101);
+  DenseMatrix b(280, 40);
+  kernels::fill_random(b, 5);
+  DenseMatrix c(300, 40);
+  spmm(a, b, c);
+  testutil::expect_matches_reference(a, b, c, ReduceKind::Sum);
+}
+
+TEST(CoreApi, SpmmSupportsAllBuiltinReductions) {
+  const Csr a = sparse::uniform_random(120, 120, 900, 102);
+  DenseMatrix b(120, 24);
+  kernels::fill_random(b, 6);
+  for (auto k : {ReduceKind::Sum, ReduceKind::Max, ReduceKind::Min, ReduceKind::Mean}) {
+    DenseMatrix c(120, 24);
+    spmm(a, b, c, k);
+    testutil::expect_matches_reference(a, b, c, k);
+  }
+}
+
+TEST(CoreApi, SpmmValidatesShapes) {
+  const Csr a = sparse::uniform_random(10, 12, 40, 103);
+  DenseMatrix wrong_b(10, 8);  // must be 12 x n
+  DenseMatrix c(10, 8);
+  EXPECT_THROW(spmm(a, wrong_b, c), std::invalid_argument);
+  DenseMatrix b(12, 8);
+  DenseMatrix wrong_c(11, 8);
+  EXPECT_THROW(spmm(a, b, wrong_c), std::invalid_argument);
+}
+
+TEST(CoreApi, SpmmLikeCustomOperatorRuns) {
+  // A user-defined "count of contributions above 0.5" reduction — the
+  // style of operator Section IV-A says future GNNs may need.
+  const Csr a = sparse::uniform_random(64, 64, 512, 104);
+  DenseMatrix b(64, 16);
+  kernels::fill_random(b, 7, 0.0f, 1.0f);
+  DenseMatrix c(64, 16);
+  CustomReduceOp op;
+  op.init = [] { return 0.0f; };
+  op.reduce = [](value_t acc, value_t x) { return acc + (x > 0.5f ? 1.0f : 0.0f); };
+  spmm_like(a, b, c, op);
+  // Reference.
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (index_t j = 0; j < 16; ++j) {
+      float expect = 0.0f;
+      for (index_t p = a.rowptr[static_cast<std::size_t>(i)];
+           p < a.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+        const float x = a.val[static_cast<std::size_t>(p)] *
+                        b.at(a.colind[static_cast<std::size_t>(p)], j);
+        if (x > 0.5f) expect += 1.0f;
+      }
+      ASSERT_FLOAT_EQ(c.at(i, j), expect) << i << "," << j;
+    }
+  }
+}
+
+TEST(CoreApi, SpmmLikeMeanViaFinalize) {
+  const Csr a = sparse::uniform_random(80, 80, 600, 105);
+  DenseMatrix b(80, 8);
+  kernels::fill_random(b, 8);
+  DenseMatrix c(80, 8), c_ref(80, 8);
+  CustomReduceOp op;
+  op.init = [] { return 0.0f; };
+  op.reduce = [](value_t acc, value_t x) { return acc + x; };
+  op.finalize = [](value_t acc, index_t nnz) {
+    return nnz == 0 ? 0.0f : acc / static_cast<value_t>(nnz);
+  };
+  spmm_like(a, b, c, op);
+  spmm(a, b, c_ref, ReduceKind::Mean);
+  EXPECT_LT(c.max_abs_diff(c_ref), 1e-5);
+}
+
+TEST(CoreApi, SpmmLikeRequiresInitAndReduce) {
+  const Csr a = sparse::uniform_random(8, 8, 20, 106);
+  DenseMatrix b(8, 4), c(8, 4);
+  EXPECT_THROW(spmm_like(a, b, c, CustomReduceOp{}), std::invalid_argument);
+}
+
+TEST(CoreApi, ProfileSpmmWritesOutputAndReportsMetrics) {
+  const Csr a = sparse::uniform_random(256, 256, 2000, 107);
+  DenseMatrix b(256, 64);
+  kernels::fill_random(b, 9);
+  DenseMatrix c(256, 64);
+  const auto prof = profile_spmm(a, b, c);
+  EXPECT_EQ(prof.algo, SpmmAlgo::CrcCwm2);  // adaptive pick at N=64
+  EXPECT_GT(prof.result.metrics.gld_transactions, 0u);
+  EXPECT_GT(prof.time_ms(), 0.0);
+  testutil::expect_matches_reference(a, b, c, ReduceKind::Sum);
+}
+
+TEST(CoreApi, ProfileAdaptiveSwitchesAtWarpSize) {
+  const Csr a = sparse::uniform_random(128, 128, 1000, 108);
+  const auto small = profile_spmm_shape(a, 16);
+  EXPECT_EQ(small.algo, SpmmAlgo::Crc);
+  const auto large = profile_spmm_shape(a, 128);
+  EXPECT_EQ(large.algo, SpmmAlgo::CrcCwm2);
+}
+
+TEST(CoreApi, ProfileHonoursExplicitAlgoAndDevice) {
+  const Csr a = sparse::uniform_random(128, 128, 1000, 109);
+  ProfileOptions opt;
+  opt.algo = SpmmAlgo::RowSplitGB;
+  opt.device = gpusim::rtx2080();
+  const auto prof = profile_spmm_shape(a, 64, opt);
+  EXPECT_EQ(prof.algo, SpmmAlgo::RowSplitGB);
+  EXPECT_GT(prof.result.metrics.l1_hits, 0u);  // Turing L1 is on
+}
+
+TEST(CoreApi, ProfileCsrmm2HandlesColMajorInternally) {
+  const Csr a = sparse::uniform_random(100, 100, 800, 110);
+  DenseMatrix b(100, 48);
+  kernels::fill_random(b, 10);
+  DenseMatrix c(100, 48);
+  ProfileOptions opt;
+  opt.algo = SpmmAlgo::Csrmm2;
+  profile_spmm(a, b, c, opt);
+  // Output is returned row-major regardless of the kernel's internal
+  // column-major layout.
+  testutil::expect_matches_reference(a, b, c, ReduceKind::Sum);
+}
+
+TEST(CoreApi, VersionIsSet) { EXPECT_STRNE(version(), ""); }
+
+}  // namespace
+}  // namespace gespmm

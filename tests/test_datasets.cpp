@@ -1,0 +1,119 @@
+/// Dataset properties: the citation graphs must match the paper's Table IV
+/// exactly; the SNAP-like suite must cover the size/skew ranges reported in
+/// Section V-A.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sparse/datasets.hpp"
+
+namespace gespmm::sparse {
+namespace {
+
+TEST(Citation, CoraMatchesTableIV) {
+  const auto d = cora();
+  EXPECT_EQ(d.adj.rows, 2708);
+  EXPECT_EQ(d.adj.nnz(), 5429);
+  EXPECT_EQ(d.num_classes, 7);
+  EXPECT_EQ(d.feature_dim, 1433);
+  EXPECT_NO_THROW(d.adj.validate());
+}
+
+TEST(Citation, CiteseerMatchesTableIV) {
+  const auto d = citeseer();
+  EXPECT_EQ(d.adj.rows, 3327);
+  EXPECT_EQ(d.adj.nnz(), 4732);
+  EXPECT_EQ(d.num_classes, 6);
+  EXPECT_EQ(d.feature_dim, 3703);
+}
+
+TEST(Citation, PubmedMatchesTableIV) {
+  const auto d = pubmed();
+  EXPECT_EQ(d.adj.rows, 19717);
+  EXPECT_EQ(d.adj.nnz(), 44338);
+  EXPECT_EQ(d.num_classes, 3);
+  EXPECT_EQ(d.feature_dim, 500);
+}
+
+TEST(Citation, SuiteIsDeterministic) {
+  const auto a = cora();
+  const auto b = cora();
+  EXPECT_EQ(a.adj, b.adj);
+}
+
+TEST(ProfileMatrices, MatchSectionVBShapes) {
+  const auto m16 = profile_matrix_16k();
+  EXPECT_EQ(m16.rows, 16384);
+  EXPECT_NEAR(m16.nnz(), 160e3, 5e3);
+  const auto m65 = profile_matrix_65k();
+  EXPECT_EQ(m65.rows, 65536);
+  EXPECT_NEAR(m65.nnz(), 650e3, 10e3);
+  const auto m262 = profile_matrix_262k();
+  EXPECT_EQ(m262.rows, 262144);
+  EXPECT_NEAR(m262.nnz(), 2.6e6, 4e4);
+}
+
+TEST(SnapSuite, Has64AlphabeticallySortedGraphs) {
+  EXPECT_EQ(snap_suite_size(), 64);
+  const auto names = snap_suite_names();
+  ASSERT_EQ(names.size(), 64u);
+  auto lower = [](std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return s;
+  };
+  for (std::size_t i = 1; i < names.size(); ++i) {
+    EXPECT_LT(lower(names[i - 1]), lower(names[i]))
+        << names[i - 1] << " !< " << names[i];
+  }
+}
+
+TEST(SnapSuite, CoversPaperSizeAndDensityRanges) {
+  // Paper Section V-A: M from 1005 to 4.8M (we scale to ~300K), nnz/row
+  // from 1.58 to 32.53. Check the designated extremes, located by name.
+  const auto names = snap_suite_names();
+  auto index_of = [&](const std::string& n) {
+    return static_cast<int>(std::find(names.begin(), names.end(), n) - names.begin());
+  };
+  const auto smallest = snap_suite_entry(index_of("as-735-syn"), 1.0);
+  EXPECT_EQ(smallest.matrix.rows, 1005);
+  const auto densest = snap_suite_entry(index_of("zc-collab-syn"), 0.25);
+  EXPECT_GT(densest.matrix.avg_row_nnz(), 20.0);
+  const auto sparsest = snap_suite_entry(index_of("zc-min-syn"), 1.0);
+  EXPECT_LT(sparsest.matrix.avg_row_nnz(), 2.0);
+  EXPECT_GE(sparsest.matrix.rows, 1000);
+}
+
+TEST(SnapSuite, EntriesValidateAndScale) {
+  for (int i : {0, 5, 24, 33, 37, 63}) {
+    const auto full = snap_suite_entry(i, 0.1);
+    EXPECT_NO_THROW(full.matrix.validate()) << full.name;
+    EXPECT_GT(full.matrix.nnz(), 0) << full.name;
+    const auto half = snap_suite_entry(i, 0.05);
+    EXPECT_LT(half.matrix.rows, full.matrix.rows) << full.name;
+  }
+}
+
+TEST(SnapSuite, EntryIsDeterministic) {
+  const auto a = snap_suite_entry(10, 0.1);
+  const auto b = snap_suite_entry(10, 0.1);
+  EXPECT_EQ(a.matrix, b.matrix);
+  EXPECT_EQ(a.name, b.name);
+}
+
+TEST(SnapSuite, RejectsBadIndex) {
+  EXPECT_THROW(snap_suite_entry(-1), std::out_of_range);
+  EXPECT_THROW(snap_suite_entry(64), std::out_of_range);
+}
+
+TEST(SnapSuite, WholeSuiteBuildsAtReducedScale) {
+  const auto suite = snap_suite(0.02);
+  EXPECT_EQ(suite.size(), 64u);
+  for (const auto& e : suite) {
+    EXPECT_NO_THROW(e.matrix.validate()) << e.name;
+  }
+}
+
+}  // namespace
+}  // namespace gespmm::sparse

@@ -1,0 +1,169 @@
+/// Aggregation layer: functional equivalence with the kernel host
+/// reference for every reduction, max-backward correctness, and the
+/// device-time orderings the end-to-end results rest on.
+
+#include <gtest/gtest.h>
+
+#include "gnn/aggregation.hpp"
+#include "gnn/train.hpp"
+#include "kernels/spmm_host.hpp"
+#include "sparse/datasets.hpp"
+#include "sparse/generators.hpp"
+
+namespace gespmm::gnn {
+namespace {
+
+using kernels::ReduceKind;
+
+Tensor dense_from(const kernels::DenseMatrix& m) {
+  Tensor t(m.rows(), m.cols());
+  for (index_t i = 0; i < m.rows(); ++i) {
+    for (index_t j = 0; j < m.cols(); ++j) t.at(i, j) = m.at(i, j);
+  }
+  return t;
+}
+
+class AggregationEquivalence : public ::testing::TestWithParam<ReduceKind> {};
+
+TEST_P(AggregationEquivalence, MatchesKernelHostReference) {
+  const auto kind = GetParam();
+  const sparse::Csr a = sparse::rmat(8, 6.0, 0.5, 0.2, 0.2, 777);
+  kernels::DenseMatrix b(a.cols, 24);
+  kernels::fill_random(b, 13);
+  kernels::DenseMatrix ref(a.rows, 24);
+  kernels::spmm_host_reference(a, b, ref, kind);
+
+  const auto res = aggregate_forward(a, dense_from(b), kind);
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (index_t j = 0; j < 24; ++j) {
+      EXPECT_NEAR(res.out.at(i, j), ref.at(i, j), 1e-4)
+          << kernels::reduce_kind_name(kind) << " at (" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllReductions, AggregationEquivalence,
+                         ::testing::Values(ReduceKind::Sum, ReduceKind::Max,
+                                           ReduceKind::Min, ReduceKind::Mean),
+                         [](const auto& info) {
+                           return std::string(kernels::reduce_kind_name(info.param));
+                         });
+
+TEST(AggregationBackward, SumEqualsTransposedForward) {
+  const sparse::Csr a = sparse::uniform_random(40, 40, 240, 778);
+  const sparse::Csr at = sparse::transpose(a);
+  Tensor dy(40, 8);
+  for (index_t i = 0; i < 40; ++i) {
+    for (index_t j = 0; j < 8; ++j) dy.at(i, j) = 0.01f * static_cast<float>(i + j);
+  }
+  const Tensor dx = aggregate_backward_sum(at, dy);
+  // dX[k][j] = sum_i A[i][k] dY[i][j], checked element-wise.
+  for (index_t k = 0; k < 40; ++k) {
+    for (index_t j = 0; j < 8; ++j) {
+      float expect = 0.0f;
+      for (index_t i = 0; i < a.rows; ++i) {
+        for (index_t p = a.rowptr[static_cast<std::size_t>(i)];
+             p < a.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+          if (a.colind[static_cast<std::size_t>(p)] == k) {
+            expect += a.val[static_cast<std::size_t>(p)] * dy.at(i, j);
+          }
+        }
+      }
+      EXPECT_NEAR(dx.at(k, j), expect, 1e-4);
+    }
+  }
+}
+
+TEST(AggregationBackward, MaxRoutesGradientToWinnerOnly) {
+  // Row 0 aggregates columns 1 (val 2) and 2 (val 1). With x[1]=3, x[2]=10:
+  // winner is column 2 (1*10 > 2*3); its gradient gets dy * val.
+  std::vector<sparse::index_t> r{0, 0}, c{1, 2};
+  std::vector<sparse::value_t> v{2.0f, 1.0f};
+  const sparse::Csr a = sparse::csr_from_triplets(1, 3, r, c, v);
+  Tensor x(3, 1);
+  x.at(1, 0) = 3.0f;
+  x.at(2, 0) = 10.0f;
+  const auto fwd = aggregate_forward(a, x, ReduceKind::Max);
+  EXPECT_FLOAT_EQ(fwd.out.at(0, 0), 10.0f);
+  Tensor dy(1, 1);
+  dy.at(0, 0) = 5.0f;
+  const Tensor dx = aggregate_backward_max(a, fwd.argmax, dy, 3);
+  EXPECT_FLOAT_EQ(dx.at(1, 0), 0.0f);   // loser gets nothing
+  EXPECT_FLOAT_EQ(dx.at(2, 0), 5.0f);   // winner gets val * dy = 1 * 5
+  EXPECT_FLOAT_EQ(dx.at(0, 0), 0.0f);
+}
+
+TEST(AggregationBackward, EmptyRowsProduceNoGradient) {
+  const sparse::Csr a(4, 4);  // all empty
+  Tensor x(4, 2);
+  const auto fwd = aggregate_forward(a, x, ReduceKind::Max);
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < 2; ++j) EXPECT_FLOAT_EQ(fwd.out.at(i, j), 0.0f);
+  }
+  Tensor dy(4, 2, 1.0f);
+  const Tensor dx = aggregate_backward_max(a, fwd.argmax, dy, 4);
+  for (auto g : dx.flat()) EXPECT_FLOAT_EQ(g, 0.0f);
+}
+
+TEST(AggregationTiming, MonotoneInWidth) {
+  GnnGraph g(sparse::uniform_random(4000, 4000, 40000, 779), gpusim::gtx1080ti());
+  double prev = 0.0;
+  for (index_t n : {16, 64, 256}) {
+    const double t =
+        g.aggregation_time_ms(AggregatorBackend::GeSpMM, ReduceKind::Sum, n, false);
+    EXPECT_GT(t, prev) << "aggregation time must grow with feature width";
+    prev = t;
+  }
+}
+
+TEST(AggregationTiming, BackendOrderingOnMediumGraph) {
+  // The orderings Figs. 13/14 rest on: GE < DGL-cuSPARSE < PyG for SpMM,
+  // and GE < DGL-fallback for SpMM-like.
+  GnnGraph g(sparse::uniform_random(8000, 8000, 80000, 780), gpusim::gtx1080ti());
+  const index_t n = 128;
+  const double ge = g.aggregation_time_ms(AggregatorBackend::GeSpMM, ReduceKind::Sum, n, false);
+  const double dgl =
+      g.aggregation_time_ms(AggregatorBackend::DglCusparse, ReduceKind::Sum, n, false);
+  const double pyg = g.aggregation_time_ms(AggregatorBackend::PyGMessagePassing,
+                                           ReduceKind::Sum, n, false);
+  EXPECT_LT(ge, dgl);
+  EXPECT_LT(dgl, pyg);
+  const double ge_like =
+      g.aggregation_time_ms(AggregatorBackend::GeSpMM, ReduceKind::Max, n, false);
+  const double dgl_like =
+      g.aggregation_time_ms(AggregatorBackend::DglFallback, ReduceKind::Max, n, false);
+  EXPECT_LT(ge_like, dgl_like);
+}
+
+TEST(AggregationTiming, TransposedOperandPricedSeparately) {
+  // Forward and backward operate on different operands (A vs A^T) whose
+  // structure can differ (skewed in-degrees) — both must be simulated.
+  GnnGraph g(sparse::rmat(11, 6.0, 0.6, 0.18, 0.18, 781), gpusim::gtx1080ti());
+  const double fwd =
+      g.aggregation_time_ms(AggregatorBackend::GeSpMM, ReduceKind::Sum, 64, false);
+  const double bwd =
+      g.aggregation_time_ms(AggregatorBackend::GeSpMM, ReduceKind::Sum, 64, true);
+  EXPECT_GT(fwd, 0.0);
+  EXPECT_GT(bwd, 0.0);
+  // Same nnz either way: times must be within 3x of each other.
+  EXPECT_LT(std::max(fwd, bwd) / std::min(fwd, bwd), 3.0);
+}
+
+TEST(SyntheticData, LabelsAndFeaturesAreDeterministicAndInRange) {
+  const auto d = sparse::cora();
+  const auto l1 = synthetic_labels(d, 1);
+  const auto l2 = synthetic_labels(d, 1);
+  EXPECT_EQ(l1, l2);
+  for (int y : l1) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, d.num_classes);
+  }
+  const Tensor f1 = synthetic_features(d, 64, 2);
+  const Tensor f2 = synthetic_features(d, 64, 2);
+  EXPECT_EQ(f1.rows(), d.adj.rows);
+  EXPECT_EQ(f1.cols(), 64);
+  for (std::size_t i = 0; i < f1.size(); ++i) EXPECT_EQ(f1.flat()[i], f2.flat()[i]);
+}
+
+}  // namespace
+}  // namespace gespmm::gnn

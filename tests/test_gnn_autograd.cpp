@@ -1,0 +1,176 @@
+/// Autograd engine: numerical gradient checks through every operator and
+/// through the aggregation backends, plus profiler accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/autograd.hpp"
+#include "sparse/generators.hpp"
+
+namespace gespmm::gnn {
+namespace {
+
+sparse::Csr small_graph() { return sparse::uniform_random(12, 12, 50, 404); }
+
+/// Finite-difference check of d(loss)/d(param) for a builder function that
+/// reconstructs the computation from a parameter tensor.
+template <typename BuildFn>
+void grad_check(Tensor param0, BuildFn&& build, double tol = 2e-2) {
+  Engine eng(gpusim::gtx1080ti());
+  VarPtr p = eng.param(param0);
+  auto loss_of = [&](Engine& e, const VarPtr& pv) { return build(e, pv); };
+
+  eng.zero_grad_and_tape();
+  const double base = loss_of(eng, p);
+  eng.backward();
+  const Tensor analytic = p->grad;
+
+  const float eps = 1e-2f;
+  for (index_t i = 0; i < param0.rows(); ++i) {
+    for (index_t j = 0; j < param0.cols(); ++j) {
+      Engine e2(gpusim::gtx1080ti());
+      Tensor bumped = param0;
+      bumped.at(i, j) += eps;
+      VarPtr p2 = e2.param(bumped);
+      e2.zero_grad_and_tape();
+      const double up = loss_of(e2, p2);
+      const double fd = (up - base) / eps;
+      EXPECT_NEAR(fd, analytic.at(i, j), tol)
+          << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+std::vector<int> labels12() { return {0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2}; }
+
+TEST(Autograd, MatmulBiasReluChainGradCheck) {
+  const Tensor x0 = Tensor::glorot(12, 5, 1);
+  grad_check(Tensor::glorot(5, 3, 2), [&](Engine& e, const VarPtr& w) {
+    VarPtr x = e.input(x0);
+    VarPtr b = e.param(Tensor(1, 3, 0.05f));
+    VarPtr out = e.relu(e.add_bias(e.matmul(x, w), b));
+    const auto labels = labels12();
+    return e.softmax_cross_entropy(out, labels).loss;
+  });
+}
+
+TEST(Autograd, AggregateSumGradCheck) {
+  const auto g = small_graph();
+  GnnGraph graph(g, gpusim::gtx1080ti());
+  grad_check(Tensor::glorot(12, 3, 3), [&](Engine& e, const VarPtr& x) {
+    VarPtr out = e.aggregate(graph, x, AggregatorBackend::GeSpMM, ReduceKind::Sum);
+    const auto labels = labels12();
+    return e.softmax_cross_entropy(out, labels).loss;
+  });
+}
+
+TEST(Autograd, AggregateMaxGradCheck) {
+  const auto g = small_graph();
+  GnnGraph graph(g, gpusim::gtx1080ti());
+  grad_check(Tensor::glorot(12, 3, 4), [&](Engine& e, const VarPtr& x) {
+    VarPtr out = e.aggregate(graph, x, AggregatorBackend::GeSpMM, ReduceKind::Max);
+    const auto labels = labels12();
+    return e.softmax_cross_entropy(out, labels).loss;
+  });
+}
+
+TEST(Autograd, ConcatGradCheck) {
+  const Tensor x0 = Tensor::glorot(12, 2, 5);
+  grad_check(Tensor::glorot(12, 1, 6), [&](Engine& e, const VarPtr& p) {
+    VarPtr x = e.input(x0);
+    VarPtr cat = e.concat(x, p);  // 12 x 3
+    const auto labels = labels12();
+    return e.softmax_cross_entropy(cat, labels).loss;
+  });
+}
+
+TEST(Autograd, BackwardAccumulatesIntoSharedParam) {
+  // Using the same parameter twice must sum both gradient paths.
+  Engine eng(gpusim::gtx1080ti());
+  VarPtr w = eng.param(Tensor::glorot(4, 4, 7));
+  VarPtr x = eng.input(Tensor::glorot(12, 4, 8));
+  eng.zero_grad_and_tape();
+  VarPtr a = eng.matmul(x, w);
+  VarPtr b = eng.matmul(x, w);
+  VarPtr sum = eng.add_bias(a, eng.param(Tensor(1, 4)));
+  (void)b;
+  const auto labels = labels12();
+  eng.softmax_cross_entropy(sum, labels);
+  eng.backward();
+  // b contributes no loss, so its grad path is zero; the shared w still
+  // received a's contribution once — the point is no crash and finite
+  // values with repeated use.
+  for (auto v : w->grad.flat()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Autograd, ProfilerRecordsForwardAndBackwardOps) {
+  const auto g = small_graph();
+  GnnGraph graph(g, gpusim::gtx1080ti());
+  Engine eng(gpusim::gtx1080ti());
+  VarPtr w = eng.param(Tensor::glorot(6, 3, 9));
+  VarPtr x = eng.input(Tensor::glorot(12, 6, 10));
+  eng.zero_grad_and_tape();
+  VarPtr h = eng.matmul(x, w);
+  VarPtr out = eng.aggregate(graph, h, AggregatorBackend::GeSpMM, ReduceKind::Sum);
+  const auto labels = labels12();
+  eng.softmax_cross_entropy(out, labels);
+  eng.backward();
+
+  const auto& prof = eng.profiler();
+  EXPECT_GT(prof.total_ms(OpKind::Gemm), 0.0);
+  EXPECT_GT(prof.total_ms(OpKind::Spmm), 0.0);
+  EXPECT_GT(prof.total_ms(OpKind::LossSoftmax), 0.0);
+  // Forward spmm + backward spmm both recorded.
+  bool fwd = false, bwd = false;
+  for (const auto& r : prof.rows()) {
+    if (r.name.find("aggregate.ge-spmm") == 0) fwd = true;
+    if (r.name.find("aggregate.bwd") == 0) bwd = true;
+  }
+  EXPECT_TRUE(fwd);
+  EXPECT_TRUE(bwd);
+  // Percentages sum to ~100.
+  double pct = 0.0;
+  for (const auto& r : prof.rows()) pct += r.percent;
+  EXPECT_NEAR(pct, 100.0, 0.5);
+  EXPECT_FALSE(prof.report().empty());
+}
+
+TEST(Autograd, AdamReducesLossOnTinyProblem) {
+  Engine eng(gpusim::gtx1080ti());
+  VarPtr w = eng.param(Tensor::glorot(5, 3, 11));
+  VarPtr b = eng.param(Tensor(1, 3));
+  const Tensor x0 = Tensor::glorot(12, 5, 12);
+  const auto labels = labels12();
+  Adam opt(eng, 5e-2);
+  double first = 0.0, last = 0.0;
+  for (int it = 0; it < 30; ++it) {
+    eng.zero_grad_and_tape();
+    VarPtr out = eng.add_bias(eng.matmul(eng.input(x0), w), b);
+    const auto res = eng.softmax_cross_entropy(out, labels);
+    eng.backward();
+    opt.step();
+    if (it == 0) first = res.loss;
+    last = res.loss;
+  }
+  EXPECT_LT(last, first * 0.7) << "Adam failed to reduce the loss";
+}
+
+TEST(GnnGraph, AggregationTimeCacheIsStableAndBackendSensitive) {
+  const auto g = sparse::uniform_random(2000, 2000, 20000, 405);
+  GnnGraph graph(g, gpusim::gtx1080ti());
+  const double t1 =
+      graph.aggregation_time_ms(AggregatorBackend::GeSpMM, ReduceKind::Sum, 64, false);
+  const double t2 =
+      graph.aggregation_time_ms(AggregatorBackend::GeSpMM, ReduceKind::Sum, 64, false);
+  EXPECT_DOUBLE_EQ(t1, t2);  // cached
+  const double dgl = graph.aggregation_time_ms(AggregatorBackend::DglCusparse,
+                                               ReduceKind::Sum, 64, false);
+  EXPECT_GT(dgl, t1) << "csrmm2 + transpose must cost more than GE-SpMM";
+  const double pyg = graph.aggregation_time_ms(AggregatorBackend::PyGMessagePassing,
+                                               ReduceKind::Sum, 64, false);
+  EXPECT_GT(pyg, t1) << "materialized message passing must cost more than fused SpMM";
+}
+
+}  // namespace
+}  // namespace gespmm::gnn

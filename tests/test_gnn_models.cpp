@@ -1,0 +1,122 @@
+/// Model construction, training convergence, and the end-to-end timing
+/// properties behind the paper's Tables I/II/IX and Figs. 13/14.
+
+#include <gtest/gtest.h>
+
+#include "gnn/train.hpp"
+#include "gpusim/device_array.hpp"
+#include "sparse/generators.hpp"
+
+namespace gespmm::gnn {
+namespace {
+
+sparse::GraphDataset tiny_dataset() {
+  sparse::GraphDataset d;
+  d.name = "tiny";
+  d.adj = sparse::citation_graph(400, 700, 42);
+  d.feature_dim = 32;
+  d.num_classes = 4;
+  return d;
+}
+
+TrainConfig config(ModelKind kind, AggregatorBackend backend, int layers = 1,
+                   int hidden = 16, int epochs = 4) {
+  TrainConfig cfg;
+  cfg.model.kind = kind;
+  cfg.model.backend = backend;
+  cfg.model.num_layers = layers;
+  cfg.model.hidden_feats = hidden;
+  cfg.epochs = epochs;
+  cfg.lr = 5e-2;
+  return cfg;
+}
+
+TEST(Models, GcnTrainsAndReducesLoss) {
+  const auto d = tiny_dataset();
+  auto cfg = config(ModelKind::Gcn, AggregatorBackend::GeSpMM, 1, 16, 60);
+  const auto r = train(d, cfg);
+  EXPECT_LT(r.final_loss, r.first_loss * 0.75);
+  EXPECT_GT(r.final_accuracy, 0.45);
+  EXPECT_GT(r.cuda_time_ms, 0.0);
+}
+
+TEST(Models, SageGcnTrains) {
+  const auto d = tiny_dataset();
+  const auto r = train(d, config(ModelKind::SageGcn, AggregatorBackend::GeSpMM, 1, 16, 60));
+  EXPECT_LT(r.final_loss, r.first_loss * 0.8);
+}
+
+TEST(Models, SagePoolTrainsWithSpmmLike) {
+  const auto d = tiny_dataset();
+  auto cfg = config(ModelKind::SagePool, AggregatorBackend::GeSpMM, 1, 16, 60);
+  cfg.model.spmm_like_backend = AggregatorBackend::GeSpMM;
+  const auto r = train(d, cfg);
+  EXPECT_LT(r.final_loss, r.first_loss * 0.85);
+  EXPECT_GT(r.spmm_like_ms, 0.0) << "pooling must be charged as SpMM-like";
+}
+
+TEST(Models, ModelConfigValidation) {
+  Engine eng(gpusim::gtx1080ti());
+  GnnGraph graph(sparse::uniform_random(10, 10, 30, 1), gpusim::gtx1080ti());
+  ModelConfig bad;
+  bad.in_feats = 0;
+  EXPECT_THROW(Model(eng, graph, bad), std::invalid_argument);
+  bad.in_feats = 8;
+  bad.num_classes = 3;
+  bad.num_layers = 0;
+  EXPECT_THROW(Model(eng, graph, bad), std::invalid_argument);
+}
+
+TEST(Models, GeSpmmBackendBeatsDglEndToEnd) {
+  // Fig. 13's claim at the workload level: swapping the aggregation kernel
+  // reduces total CUDA time.
+  const auto d = tiny_dataset();
+  const auto dgl =
+      train(d, config(ModelKind::Gcn, AggregatorBackend::DglCusparse, 2, 64, 3));
+  const auto ge = train(d, config(ModelKind::Gcn, AggregatorBackend::GeSpMM, 2, 64, 3));
+  EXPECT_LT(ge.cuda_time_ms, dgl.cuda_time_ms);
+  // Same math: losses must agree to float tolerance.
+  EXPECT_NEAR(ge.final_loss, dgl.final_loss, 1e-6);
+}
+
+TEST(Models, PygBackendSlowerThanGeSpmm) {
+  // Fig. 14: PyG's materialized MessagePassing loses more than DGL does.
+  const auto d = tiny_dataset();
+  const auto pyg = train(
+      d, config(ModelKind::Gcn, AggregatorBackend::PyGMessagePassing, 2, 64, 3));
+  const auto ge = train(d, config(ModelKind::Gcn, AggregatorBackend::GeSpMM, 2, 64, 3));
+  EXPECT_GT(pyg.cuda_time_ms / ge.cuda_time_ms, 1.05);
+}
+
+TEST(Models, SpmmFractionIsSubstantialInGcnTraining) {
+  // Table I: SpMM ~30% of CUDA time in DGL GCN training. Accept a band —
+  // the exact number depends on hidden sizes and overheads.
+  const auto d = tiny_dataset();
+  auto cfg = config(ModelKind::Gcn, AggregatorBackend::DglCusparse, 2, 16, 3);
+  const auto r = train(d, cfg);
+  EXPECT_GT(r.spmm_fraction, 0.15);
+  EXPECT_LT(r.spmm_fraction, 0.60);
+  EXPECT_GT(r.gemm_ms, 0.0);
+}
+
+TEST(Models, DeterministicTraining) {
+  const auto d = tiny_dataset();
+  // Device-time determinism requires identical virtual buffer addresses,
+  // so reset the arena before each run (no launches are in flight here).
+  gpusim::reset_device_address_space();
+  const auto a = train(d, config(ModelKind::Gcn, AggregatorBackend::GeSpMM, 1, 16, 3));
+  gpusim::reset_device_address_space();
+  const auto b = train(d, config(ModelKind::Gcn, AggregatorBackend::GeSpMM, 1, 16, 3));
+  EXPECT_DOUBLE_EQ(a.final_loss, b.final_loss);
+  EXPECT_DOUBLE_EQ(a.cuda_time_ms, b.cuda_time_ms);
+}
+
+TEST(Models, LayerAndHiddenSweepScalesTime) {
+  const auto d = tiny_dataset();
+  const auto small = train(d, config(ModelKind::Gcn, AggregatorBackend::GeSpMM, 1, 16, 2));
+  const auto big = train(d, config(ModelKind::Gcn, AggregatorBackend::GeSpMM, 2, 256, 2));
+  EXPECT_GT(big.cuda_time_ms, small.cuda_time_ms);
+}
+
+}  // namespace
+}  // namespace gespmm::gnn

@@ -1,0 +1,145 @@
+/// Tensor operation tests, including gradient checks for the composite ops.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/tensor.hpp"
+
+namespace gespmm::gnn {
+namespace {
+
+Tensor seq(index_t r, index_t c, float base = 0.0f) {
+  Tensor t(r, c);
+  for (index_t i = 0; i < r; ++i) {
+    for (index_t j = 0; j < c; ++j) t.at(i, j) = base + static_cast<float>(i * c + j);
+  }
+  return t;
+}
+
+TEST(Tensor, MatmulSmallKnownResult) {
+  Tensor a(2, 3);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(0, 2) = 3;
+  a.at(1, 0) = 4; a.at(1, 1) = 5; a.at(1, 2) = 6;
+  Tensor b(3, 2);
+  b.at(0, 0) = 7; b.at(0, 1) = 8;
+  b.at(1, 0) = 9; b.at(1, 1) = 10;
+  b.at(2, 0) = 11; b.at(2, 1) = 12;
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154);
+}
+
+TEST(Tensor, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(matmul(Tensor(2, 3), Tensor(2, 3)), std::invalid_argument);
+}
+
+TEST(Tensor, MatmulTransposedVariantsAgree) {
+  const Tensor a = seq(4, 5, 0.5f);
+  const Tensor b = seq(5, 3, -2.0f);
+  const Tensor c = matmul(a, b);
+  // a * b == matmul_bt(a, b^T) == matmul_at(a^T, b)
+  const Tensor c2 = matmul_bt(a, transpose(b));
+  const Tensor c3 = matmul_at(transpose(a), b);
+  for (index_t i = 0; i < c.rows(); ++i) {
+    for (index_t j = 0; j < c.cols(); ++j) {
+      EXPECT_NEAR(c.at(i, j), c2.at(i, j), 1e-3);
+      EXPECT_NEAR(c.at(i, j), c3.at(i, j), 1e-3);
+    }
+  }
+}
+
+TEST(Tensor, TransposeRoundTrip) {
+  const Tensor a = seq(3, 7);
+  const Tensor t = transpose(transpose(a));
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) EXPECT_EQ(a.at(i, j), t.at(i, j));
+  }
+}
+
+TEST(Tensor, AddBiasBroadcastsRow) {
+  Tensor bias(1, 3);
+  bias.at(0, 0) = 1; bias.at(0, 1) = 2; bias.at(0, 2) = 3;
+  const Tensor c = add_bias(Tensor(2, 3, 10.0f), bias);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 11);
+  EXPECT_FLOAT_EQ(c.at(1, 2), 13);
+}
+
+TEST(Tensor, ReluClampsNegatives) {
+  Tensor a(1, 4);
+  a.at(0, 0) = -1; a.at(0, 1) = 0; a.at(0, 2) = 2; a.at(0, 3) = -0.5f;
+  const Tensor r = relu(a);
+  EXPECT_FLOAT_EQ(r.at(0, 0), 0);
+  EXPECT_FLOAT_EQ(r.at(0, 2), 2);
+  EXPECT_FLOAT_EQ(r.at(0, 3), 0);
+}
+
+TEST(Tensor, ColsumAndConcat) {
+  const Tensor a = seq(3, 2);
+  const Tensor s = colsum(a);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 0 + 2 + 4);
+  EXPECT_FLOAT_EQ(s.at(0, 1), 1 + 3 + 5);
+
+  const Tensor b = seq(3, 3, 100.0f);
+  const Tensor cat = concat_cols(a, b);
+  ASSERT_EQ(cat.cols(), 5);
+  EXPECT_FLOAT_EQ(cat.at(1, 0), a.at(1, 0));
+  EXPECT_FLOAT_EQ(cat.at(1, 2), b.at(1, 0));
+  Tensor ga, gb;
+  split_cols(cat, 2, ga, gb);
+  EXPECT_FLOAT_EQ(ga.at(2, 1), a.at(2, 1));
+  EXPECT_FLOAT_EQ(gb.at(2, 2), b.at(2, 2));
+}
+
+TEST(Tensor, LogSoftmaxRowsSumToOneInProbSpace) {
+  const Tensor a = seq(4, 6, -3.0f);
+  const Tensor l = log_softmax(a);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (index_t j = 0; j < a.cols(); ++j) sum += std::exp(l.at(i, j));
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Tensor, NllLossGradientMatchesFiniteDifference) {
+  Tensor logits(3, 4);
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 4; ++j) logits.at(i, j) = 0.1f * static_cast<float>(i + j * j);
+  }
+  const std::vector<int> labels{2, 0, 3};
+  const auto base = nll_loss(log_softmax(logits), labels);
+  const float eps = 1e-3f;
+  for (index_t i = 0; i < 3; ++i) {
+    for (index_t j = 0; j < 4; ++j) {
+      Tensor bumped = logits;
+      bumped.at(i, j) += eps;
+      const auto up = nll_loss(log_softmax(bumped), labels);
+      const double fd = (up.loss - base.loss) / eps;
+      EXPECT_NEAR(fd, base.grad_logits.at(i, j), 5e-3)
+          << "gradient mismatch at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(Tensor, NllLossAccuracy) {
+  Tensor logp(2, 2);
+  logp.at(0, 0) = -0.1f; logp.at(0, 1) = -3.0f;  // predicts 0
+  logp.at(1, 0) = -2.0f; logp.at(1, 1) = -0.2f;  // predicts 1
+  const std::vector<int> labels{0, 0};
+  EXPECT_NEAR(nll_loss(logp, labels).accuracy, 0.5, 1e-9);
+}
+
+TEST(Tensor, GlorotDeterministicAndBounded) {
+  const Tensor a = Tensor::glorot(64, 32, 7);
+  const Tensor b = Tensor::glorot(64, 32, 7);
+  const float bound = std::sqrt(6.0f / (64 + 32));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.flat()[i], b.flat()[i]);
+    EXPECT_LE(std::abs(a.flat()[i]), bound);
+  }
+}
+
+}  // namespace
+}  // namespace gespmm::gnn

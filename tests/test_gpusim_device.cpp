@@ -1,0 +1,133 @@
+/// Device presets, occupancy calculator and cache model tests.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/cache.hpp"
+#include "gpusim/device.hpp"
+
+namespace gespmm::gpusim {
+namespace {
+
+TEST(DevicePresets, Gtx1080TiMatchesPaperMachine1) {
+  const auto d = gtx1080ti();
+  EXPECT_EQ(d.num_sms, 28);
+  EXPECT_NEAR(d.clock_ghz, 1.481, 1e-9);
+  EXPECT_NEAR(d.dram_bw_gbps, 484.0, 1e-9);
+  EXPECT_FALSE(d.unified_l1);  // Pascal: global loads bypass L1
+}
+
+TEST(DevicePresets, Rtx2080MatchesPaperMachine2) {
+  const auto d = rtx2080();
+  EXPECT_EQ(d.num_sms, 46);
+  EXPECT_NEAR(d.clock_ghz, 1.515, 1e-9);
+  EXPECT_NEAR(d.dram_bw_gbps, 448.0, 1e-9);
+  EXPECT_TRUE(d.unified_l1);  // Turing: unified L1 caches global loads
+}
+
+TEST(DevicePresets, LookupByNameAndAliases) {
+  EXPECT_EQ(device_by_name("gtx1080ti").name, "gtx1080ti");
+  EXPECT_EQ(device_by_name("pascal").name, "gtx1080ti");
+  EXPECT_EQ(device_by_name("rtx2080").name, "rtx2080");
+  EXPECT_EQ(device_by_name("turing").name, "rtx2080");
+  EXPECT_THROW(device_by_name("h100"), std::invalid_argument);
+}
+
+TEST(Occupancy, WarpLimited) {
+  const auto d = gtx1080ti();
+  LaunchConfig cfg;
+  cfg.block = 512;  // 16 warps
+  cfg.regs_per_thread = 16;
+  const auto occ = compute_occupancy(d, cfg);
+  EXPECT_EQ(occ.blocks_per_sm, 4);  // 64 warp slots / 16 warps per block
+  EXPECT_EQ(occ.active_warps_per_sm, 64);
+  EXPECT_DOUBLE_EQ(occ.fraction, 1.0);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  const auto d = gtx1080ti();
+  LaunchConfig cfg;
+  cfg.block = 256;
+  cfg.regs_per_thread = 64;  // 16384 regs per block -> 4 blocks
+  const auto occ = compute_occupancy(d, cfg);
+  EXPECT_EQ(occ.blocks_per_sm, 4);
+  EXPECT_EQ(occ.limiter, "registers");
+  EXPECT_EQ(occ.active_warps_per_sm, 32);
+}
+
+TEST(Occupancy, SmemLimited) {
+  const auto d = gtx1080ti();
+  LaunchConfig cfg;
+  cfg.block = 64;
+  cfg.regs_per_thread = 16;
+  cfg.smem_bytes = 32 * 1024;  // 96KB / 32KB = 3 blocks
+  const auto occ = compute_occupancy(d, cfg);
+  EXPECT_EQ(occ.blocks_per_sm, 3);
+  EXPECT_EQ(occ.limiter, "smem");
+}
+
+TEST(Occupancy, TuringWarpSlotsHalved) {
+  const auto d = rtx2080();
+  LaunchConfig cfg;
+  cfg.block = 1024;
+  cfg.regs_per_thread = 16;
+  const auto occ = compute_occupancy(d, cfg);
+  EXPECT_EQ(occ.active_warps_per_sm, 32);
+  EXPECT_DOUBLE_EQ(occ.fraction, 1.0);  // 32/32 slots
+}
+
+TEST(Occupancy, FractionAlwaysInUnitInterval) {
+  for (const auto& d : {gtx1080ti(), rtx2080()}) {
+    for (int block : {32, 64, 128, 256, 512, 1024}) {
+      for (int regs : {16, 32, 64, 128}) {
+        for (std::size_t smem : {std::size_t{0}, std::size_t{4096}, std::size_t{48 * 1024}}) {
+          LaunchConfig cfg;
+          cfg.block = block;
+          cfg.regs_per_thread = regs;
+          cfg.smem_bytes = smem;
+          const auto occ = compute_occupancy(d, cfg);
+          EXPECT_GE(occ.fraction, 0.0);
+          EXPECT_LE(occ.fraction, 1.0);
+          EXPECT_LE(occ.active_warps_per_sm, d.max_warps_per_sm);
+        }
+      }
+    }
+  }
+}
+
+TEST(SectorCache, HitsOnRepeatedLine) {
+  SectorCache c;
+  c.configure(64);
+  EXPECT_FALSE(c.access(0));      // cold miss
+  EXPECT_TRUE(c.access(32));      // same 128B line
+  EXPECT_TRUE(c.access(96));      // still same line
+  EXPECT_FALSE(c.access(128));    // next line
+  EXPECT_TRUE(c.access(128 + 4)); // hit
+}
+
+TEST(SectorCache, DirectMappedConflictEvicts) {
+  SectorCache c;
+  c.configure(4);  // 4 lines of 128B; addresses 0 and 4*128 collide
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(4 * 128));
+  EXPECT_FALSE(c.access(0));  // evicted by the conflicting line
+}
+
+TEST(SectorCache, EpochInvalidatesWithoutMemset) {
+  SectorCache c;
+  c.configure(64);
+  EXPECT_FALSE(c.access(256));
+  EXPECT_TRUE(c.access(256));
+  c.new_epoch();
+  EXPECT_FALSE(c.access(256));  // cold again
+}
+
+TEST(SectorCache, ZeroLinesNeverHits) {
+  SectorCache c;
+  c.configure(0);
+  EXPECT_FALSE(c.enabled());
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(0));
+}
+
+}  // namespace
+}  // namespace gespmm::gpusim

@@ -1,0 +1,185 @@
+/// Launch engine tests: metric collection, block sampling extrapolation,
+/// determinism, and cost-model sanity/monotonicity properties.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/gpusim.hpp"
+
+namespace gespmm::gpusim {
+namespace {
+
+/// Toy kernel: every warp streams `len` contiguous floats and stores one
+/// value — fully predictable metrics.
+class StreamKernel final : public Kernel {
+ public:
+  StreamKernel(DeviceArray<float>& in, DeviceArray<float>& out, long long grid, int len)
+      : in_(&in), out_(&out), grid_(grid), len_(len) {}
+
+  LaunchConfig config(const DeviceSpec&) const override {
+    LaunchConfig cfg;
+    cfg.grid = grid_;
+    cfg.block = 64;  // 2 warps
+    cfg.regs_per_thread = 24;
+    return cfg;
+  }
+  std::string name() const override { return "stream"; }
+
+  void run_block(BlockCtx& blk) const override {
+    for (int w = 0; w < blk.num_warps(); ++w) {
+      WarpCtx warp = blk.warp(w);
+      Lanes<float> acc = splat(0.0f);
+      for (int t = 0; t < len_; t += kWarpSize) {
+        const auto base = (blk.block_id() * 2 + w) % 7 * 1024 + t;
+        const auto v = warp.ld_contig(*in_, base, kFullMask);
+        for (int l = 0; l < kWarpSize; ++l) acc[static_cast<std::size_t>(l)] += v[static_cast<std::size_t>(l)];
+        warp.count_fma(kWarpSize);
+      }
+      warp.st_contig(*out_, (blk.block_id() * 2 + w) * kWarpSize % 512, acc, kFullMask);
+    }
+  }
+
+ private:
+  DeviceArray<float>* in_;
+  DeviceArray<float>* out_;
+  long long grid_;
+  int len_;
+};
+
+class LaunchFixture : public ::testing::Test {
+ protected:
+  DeviceArray<float> in_{16 * 1024, 1.0f};
+  DeviceArray<float> out_{16 * 1024, 0.0f};
+};
+
+TEST_F(LaunchFixture, MetricsMatchHandComputedCounts) {
+  StreamKernel k(in_, out_, /*grid=*/10, /*len=*/128);
+  const auto r = launch(gtx1080ti(), k);
+  // 10 blocks x 2 warps x 4 tile loads, each 4 transactions (aligned).
+  EXPECT_EQ(r.metrics.gld_instructions, 10u * 2 * 4);
+  EXPECT_EQ(r.metrics.gld_transactions, 10u * 2 * 4 * 4);
+  EXPECT_EQ(r.metrics.gld_useful_bytes, 10u * 2 * 4 * 128);
+  EXPECT_DOUBLE_EQ(r.metrics.gld_efficiency(), 1.0);
+  EXPECT_EQ(r.metrics.gst_instructions, 10u * 2);
+  EXPECT_EQ(r.metrics.flops, 10u * 2 * 4 * 2 * 32);
+  EXPECT_EQ(r.metrics.num_blocks, 10u);
+  EXPECT_EQ(r.metrics.num_warps, 20u);
+}
+
+TEST_F(LaunchFixture, SampledMetricsExtrapolateCloseToFull) {
+  StreamKernel k(in_, out_, /*grid=*/4096, /*len=*/256);
+  const auto full = launch(gtx1080ti(), k, SamplePolicy::full());
+  const auto sampled = launch(gtx1080ti(), k, SamplePolicy::sampled(512));
+  EXPECT_GT(sampled.metrics.sample_scale, 1.0);
+  const double rel =
+      std::abs(static_cast<double>(sampled.metrics.gld_transactions) -
+               static_cast<double>(full.metrics.gld_transactions)) /
+      static_cast<double>(full.metrics.gld_transactions);
+  EXPECT_LT(rel, 0.02) << "sampling should extrapolate within 2% on a uniform grid";
+  EXPECT_NEAR(sampled.time_ms(), full.time_ms(), full.time_ms() * 0.05);
+}
+
+TEST_F(LaunchFixture, DeterministicAcrossRuns) {
+  StreamKernel k(in_, out_, 777, 96);
+  const auto a = launch(rtx2080(), k);
+  const auto b = launch(rtx2080(), k);
+  EXPECT_EQ(a.metrics.gld_transactions, b.metrics.gld_transactions);
+  EXPECT_EQ(a.metrics.l1_hits, b.metrics.l1_hits);
+  EXPECT_EQ(a.metrics.l2_hits, b.metrics.l2_hits);
+  EXPECT_EQ(a.metrics.dram_transactions, b.metrics.dram_transactions);
+  EXPECT_DOUBLE_EQ(a.time_ms(), b.time_ms());
+}
+
+TEST_F(LaunchFixture, TuringL1AbsorbsRepeatedLines) {
+  StreamKernel k(in_, out_, 64, 128);
+  const auto pascal = launch(gtx1080ti(), k);
+  const auto turing = launch(rtx2080(), k);
+  EXPECT_EQ(pascal.metrics.l1_hits, 0u);  // Pascal L1 bypassed
+  EXPECT_GT(turing.metrics.l1_hits, 0u);  // same lines revisited across warps
+}
+
+TEST(CostModel, TimeScalesInverselyWithDramTraffic) {
+  const auto dev = gtx1080ti();
+  LaunchConfig cfg;
+  cfg.grid = 10000;
+  cfg.block = 256;
+  const auto occ = compute_occupancy(dev, cfg);
+  LaunchMetrics m;
+  m.dram_transactions = 1'000'000;
+  const auto t1 = estimate_time(dev, cfg, m, occ);
+  m.dram_transactions = 2'000'000;
+  const auto t2 = estimate_time(dev, cfg, m, occ);
+  EXPECT_NEAR(t2.dram_ms / t1.dram_ms, 2.0, 1e-9);
+  EXPECT_GT(t2.total_ms, t1.total_ms);
+}
+
+TEST(CostModel, IlpRaisesUtilizationUntilCap) {
+  const auto dev = gtx1080ti();
+  LaunchConfig cfg;
+  cfg.grid = 100000;
+  cfg.block = 256;
+  cfg.regs_per_thread = 32;
+  const auto occ = compute_occupancy(dev, cfg);
+  LaunchMetrics m;
+  m.dram_transactions = 10'000'000;
+  cfg.ilp = 1.0;
+  const auto t1 = estimate_time(dev, cfg, m, occ);
+  cfg.ilp = 2.0;
+  const auto t2 = estimate_time(dev, cfg, m, occ);
+  cfg.ilp = 4.0;  // beyond cap: no further gain
+  const auto t4 = estimate_time(dev, cfg, m, occ);
+  EXPECT_LT(t2.total_ms, t1.total_ms);
+  EXPECT_DOUBLE_EQ(t4.total_ms, t2.total_ms);
+}
+
+TEST(CostModel, RegisterPressurePenalizesConcurrency) {
+  const auto dev = gtx1080ti();
+  LaunchConfig cfg;
+  cfg.grid = 100000;
+  cfg.block = 64;
+  const auto occ_lo = compute_occupancy(dev, cfg);
+  LaunchMetrics m;
+  m.dram_transactions = 10'000'000;
+  cfg.regs_per_thread = 32;
+  const auto t_lo = estimate_time(dev, cfg, m, occ_lo);
+  cfg.regs_per_thread = 80;
+  const auto t_hi = estimate_time(dev, cfg, m, compute_occupancy(dev, cfg));
+  EXPECT_GT(t_hi.total_ms, t_lo.total_ms);
+}
+
+TEST(CostModel, SmallGridIsLatencyBound) {
+  const auto dev = gtx1080ti();
+  LaunchConfig cfg;
+  cfg.block = 256;
+  LaunchMetrics m;
+  m.dram_transactions = 1'000'000;
+  cfg.grid = 4;  // cannot fill 28 SMs
+  const auto small = estimate_time(dev, cfg, m, compute_occupancy(dev, cfg));
+  cfg.grid = 100000;
+  const auto big = estimate_time(dev, cfg, m, compute_occupancy(dev, cfg));
+  EXPECT_LT(big.utilization * 1.0, 1.0);
+  EXPECT_GT(big.utilization, small.utilization);
+  EXPECT_GT(small.total_ms, big.total_ms);
+}
+
+TEST(CostModel, LaunchOverheadFloorsTinyKernels) {
+  const auto dev = gtx1080ti();
+  LaunchConfig cfg;
+  cfg.grid = 1;
+  cfg.block = 32;
+  LaunchMetrics m;  // no traffic at all
+  const auto t = estimate_time(dev, cfg, m, compute_occupancy(dev, cfg));
+  EXPECT_GE(t.total_ms, dev.launch_overhead_us * 1e-3);
+}
+
+TEST(CostModel, AchievedOccupancyDeratesUnfilledGrid) {
+  const auto dev = gtx1080ti();
+  LaunchConfig cfg;
+  cfg.block = 256;
+  cfg.grid = dev.num_sms;  // one block per SM, 8 warps of 64 slots
+  const auto occ = compute_occupancy(dev, cfg);
+  const double achieved = achieved_occupancy(dev, cfg, occ);
+  EXPECT_LT(achieved, occ.fraction);
+}
+
+}  // namespace
+}  // namespace gespmm::gpusim

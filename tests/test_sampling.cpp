@@ -1,0 +1,163 @@
+/// Neighbour sampling and mini-batch sampled training (the paper's
+/// "sampled batch training" setting, Section II-B).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <set>
+
+#include "gnn/train_sampled.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/sampling.hpp"
+
+namespace gespmm::sparse {
+namespace {
+
+Csr test_graph() { return citation_graph(500, 4000, 321); }
+
+TEST(Sampling, BlockStructureIsValid) {
+  const Csr g = test_graph();
+  const std::vector<index_t> batch{3, 17, 99, 200};
+  SampleOptions opt;
+  opt.fanout = 5;
+  opt.seed = 7;
+  const auto block = sample_neighbors(g, batch, opt);
+
+  EXPECT_EQ(block.output_nodes, batch);
+  EXPECT_EQ(block.adj.rows, static_cast<index_t>(batch.size()));
+  EXPECT_EQ(block.adj.cols, static_cast<index_t>(block.input_nodes.size()));
+  EXPECT_NO_THROW(block.adj.validate());
+  // Batch nodes lead the input list (self features).
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(block.input_nodes[i], batch[i]);
+  }
+  // Input nodes are unique.
+  std::set<index_t> uniq(block.input_nodes.begin(), block.input_nodes.end());
+  EXPECT_EQ(uniq.size(), block.input_nodes.size());
+}
+
+TEST(Sampling, FanoutBoundsRowDegree) {
+  const Csr g = test_graph();
+  std::vector<index_t> batch;
+  for (index_t v = 0; v < 100; ++v) batch.push_back(v);
+  SampleOptions opt;
+  opt.fanout = 3;
+  const auto block = sample_neighbors(g, batch, opt);
+  for (index_t r = 0; r < block.adj.rows; ++r) {
+    EXPECT_LE(block.adj.row_nnz(r), 3);
+    EXPECT_LE(block.adj.row_nnz(r), g.row_nnz(batch[static_cast<std::size_t>(r)]));
+  }
+}
+
+TEST(Sampling, SampledEdgesExistInGraph) {
+  const Csr g = test_graph();
+  const std::vector<index_t> batch{1, 2, 3, 50, 51};
+  const auto block = sample_neighbors(g, batch, {.fanout = 4, .seed = 9});
+  for (index_t r = 0; r < block.adj.rows; ++r) {
+    const index_t v = block.output_nodes[static_cast<std::size_t>(r)];
+    for (index_t p = block.adj.rowptr[static_cast<std::size_t>(r)];
+         p < block.adj.rowptr[static_cast<std::size_t>(r) + 1]; ++p) {
+      const index_t u =
+          block.input_nodes[static_cast<std::size_t>(block.adj.colind[static_cast<std::size_t>(p)])];
+      bool found = false;
+      for (index_t q = g.rowptr[static_cast<std::size_t>(v)];
+           q < g.rowptr[static_cast<std::size_t>(v) + 1]; ++q) {
+        if (g.colind[static_cast<std::size_t>(q)] == u) found = true;
+      }
+      EXPECT_TRUE(found) << "sampled edge (" << v << "," << u << ") not in graph";
+    }
+  }
+}
+
+TEST(Sampling, RowsAreMeanNormalized) {
+  const Csr g = test_graph();
+  const std::vector<index_t> batch{10, 20, 30};
+  const auto block = sample_neighbors(g, batch, {.fanout = 8, .seed = 11});
+  for (index_t r = 0; r < block.adj.rows; ++r) {
+    double sum = 0.0;
+    for (index_t p = block.adj.rowptr[static_cast<std::size_t>(r)];
+         p < block.adj.rowptr[static_cast<std::size_t>(r) + 1]; ++p) {
+      sum += block.adj.val[static_cast<std::size_t>(p)];
+    }
+    if (block.adj.row_nnz(r) > 0) {
+      EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+  }
+}
+
+TEST(Sampling, DeterministicPerSeedDistinctAcrossSeeds) {
+  const Csr g = test_graph();
+  const std::vector<index_t> batch{5, 6, 7, 8};
+  const auto a = sample_neighbors(g, batch, {.fanout = 4, .seed = 1});
+  const auto b = sample_neighbors(g, batch, {.fanout = 4, .seed = 1});
+  EXPECT_EQ(a.adj, b.adj);
+  EXPECT_EQ(a.input_nodes, b.input_nodes);
+  const auto c = sample_neighbors(g, batch, {.fanout = 4, .seed = 2});
+  EXPECT_NE(a.adj, c.adj) << "different seeds should sample differently";
+}
+
+TEST(Sampling, MultiLayerBlocksChain) {
+  const Csr g = test_graph();
+  const std::vector<index_t> batch{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto blocks = sample_blocks(g, batch, 2, {.fanout = 4, .seed = 3});
+  ASSERT_EQ(blocks.size(), 2u);
+  // Application order: blocks[0] (deepest) feeds blocks[1]; the chaining
+  // invariant is blocks[1].input == blocks[0].output frontier.
+  EXPECT_EQ(blocks.back().output_nodes, batch);
+  EXPECT_EQ(blocks.front().output_nodes, blocks.back().input_nodes);
+  // Frontier grows (or stays equal) with depth.
+  EXPECT_GE(blocks.front().input_nodes.size(), blocks.back().input_nodes.size());
+}
+
+TEST(Sampling, MakeBatchesPartitionsAllNodes) {
+  const auto batches = make_batches(103, 25, 5);
+  ASSERT_EQ(batches.size(), 5u);  // 25*4 + 3
+  std::set<index_t> seen;
+  for (const auto& b : batches) {
+    for (index_t v : b) EXPECT_TRUE(seen.insert(v).second) << "duplicate node " << v;
+  }
+  EXPECT_EQ(seen.size(), 103u);
+  EXPECT_THROW(make_batches(10, 0, 1), std::invalid_argument);
+}
+
+TEST(SampledTraining, RunsAndAccountsSpmmTime) {
+  sparse::GraphDataset d;
+  d.name = "sampled";
+  d.adj = citation_graph(600, 3600, 322);
+  d.feature_dim = 24;
+  d.num_classes = 3;
+
+  gnn::SampledTrainConfig cfg;
+  cfg.num_layers = 2;
+  cfg.hidden_feats = 8;
+  cfg.batch_size = 200;
+  cfg.fanout = 5;
+  cfg.epochs = 1;
+  const auto res = gnn::train_sampled(d, cfg);
+  EXPECT_EQ(res.num_batches, 3);
+  EXPECT_GT(res.cuda_time_ms, 0.0);
+  EXPECT_GT(res.spmm_ms, 0.0);
+  EXPECT_GT(res.total_sampled_nnz, 0);
+  EXPECT_TRUE(std::isfinite(res.final_loss));
+}
+
+TEST(SampledTraining, LossDecreasesOverEpochs) {
+  sparse::GraphDataset d;
+  d.name = "sampled2";
+  d.adj = citation_graph(400, 1200, 323);
+  d.feature_dim = 16;
+  d.num_classes = 2;
+
+  gnn::SampledTrainConfig cfg;
+  cfg.num_layers = 1;
+  cfg.batch_size = 400;  // full batch for a stable signal
+  cfg.fanout = 6;
+  cfg.epochs = 25;
+  cfg.lr = 5e-2;
+  const auto res = gnn::train_sampled(d, cfg);
+  EXPECT_LT(res.final_loss, res.first_loss * 0.9);
+}
+
+}  // namespace
+}  // namespace gespmm::sparse

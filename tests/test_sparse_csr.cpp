@@ -1,0 +1,175 @@
+/// CSR container, conversions, normalizations and generators.
+
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/generators.hpp"
+
+namespace gespmm::sparse {
+namespace {
+
+Csr paper_example() {
+  // The matrix of the paper's Fig. 4:
+  //   row0: (1,a) (2,b); row1: (0,c); row2: (1,d) (2,e) (3,f); row3: (2,g)
+  std::vector<index_t> r{0, 0, 1, 2, 2, 2, 3};
+  std::vector<index_t> c{1, 2, 0, 1, 2, 3, 2};
+  std::vector<value_t> v{1, 2, 3, 4, 5, 6, 7};
+  return csr_from_triplets(4, 4, r, c, v);
+}
+
+TEST(Csr, Fig4RepresentationMatchesPaper) {
+  const Csr a = paper_example();
+  EXPECT_EQ(a.rowptr, (std::vector<index_t>{0, 2, 3, 6, 7}));
+  EXPECT_EQ(a.colind, (std::vector<index_t>{1, 2, 0, 1, 2, 3, 2}));
+  EXPECT_EQ(a.nnz(), 7);
+  EXPECT_NO_THROW(a.validate());
+  EXPECT_TRUE(a.rows_sorted());
+}
+
+TEST(Csr, TripletsMergeDuplicates) {
+  std::vector<index_t> r{0, 0, 0};
+  std::vector<index_t> c{1, 1, 2};
+  std::vector<value_t> v{1.0f, 2.0f, 4.0f};
+  const Csr a = csr_from_triplets(2, 4, r, c, v);
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_FLOAT_EQ(a.val[0], 3.0f);
+  EXPECT_FLOAT_EQ(a.val[1], 4.0f);
+}
+
+TEST(Csr, TripletsRejectOutOfRange) {
+  std::vector<index_t> r{0}, c{5};
+  std::vector<value_t> v{1.0f};
+  EXPECT_THROW(csr_from_triplets(2, 4, r, c, v), std::runtime_error);
+}
+
+TEST(Csr, ValidateCatchesBrokenRowptr) {
+  Csr a = paper_example();
+  a.rowptr[2] = 99;
+  EXPECT_THROW(a.validate(), std::runtime_error);
+}
+
+TEST(Csr, ValidateCatchesColumnOutOfRange) {
+  Csr a = paper_example();
+  a.colind[0] = 42;
+  EXPECT_THROW(a.validate(), std::runtime_error);
+}
+
+TEST(Csr, TransposeIsInvolution) {
+  const Csr a = uniform_random(100, 80, 600, 5);
+  const Csr tt = transpose(transpose(a));
+  EXPECT_EQ(a, tt);
+}
+
+TEST(Csr, TransposeMovesEntries) {
+  const Csr a = paper_example();
+  const Csr t = transpose(a);
+  EXPECT_EQ(t.rows, 4);
+  // a(0,1)=1 must appear as t(1,0)=1.
+  bool found = false;
+  for (index_t p = t.rowptr[1]; p < t.rowptr[2]; ++p) {
+    if (t.colind[static_cast<std::size_t>(p)] == 0) {
+      EXPECT_FLOAT_EQ(t.val[static_cast<std::size_t>(p)], 1.0f);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Csr, CooRoundTrip) {
+  const Csr a = uniform_random(50, 50, 300, 6);
+  EXPECT_EQ(coo_to_csr(csr_to_coo(a)), a);
+}
+
+TEST(Csr, GcnNormalizeRowsOfSymmetricGraphSumBelowOne) {
+  const Csr a = uniform_random(64, 64, 256, 7);
+  const Csr n = gcn_normalize(a);
+  EXPECT_EQ(n.rows, a.rows);
+  // Every diagonal entry exists (A + I).
+  for (index_t i = 0; i < n.rows; ++i) {
+    bool diag = false;
+    for (index_t p = n.rowptr[static_cast<std::size_t>(i)];
+         p < n.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      if (n.colind[static_cast<std::size_t>(p)] == i) diag = true;
+      EXPECT_GT(n.val[static_cast<std::size_t>(p)], 0.0f);
+      EXPECT_LE(n.val[static_cast<std::size_t>(p)], 1.0f + 1e-6f);
+    }
+    EXPECT_TRUE(diag) << "row " << i;
+  }
+}
+
+TEST(Csr, RowNormalizeMakesRowsSumToOne) {
+  const Csr a = uniform_random(64, 64, 400, 8);
+  const Csr n = row_normalize(a);
+  for (index_t i = 0; i < n.rows; ++i) {
+    double sum = 0.0;
+    for (index_t p = n.rowptr[static_cast<std::size_t>(i)];
+         p < n.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      sum += n.val[static_cast<std::size_t>(p)];
+    }
+    if (a.row_nnz(i) > 0) {
+      EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+  }
+}
+
+TEST(Csr, DegreeStatsConsistent) {
+  const Csr a = uniform_random(128, 128, 1024, 9);
+  const auto s = degree_stats(a);
+  EXPECT_LE(s.min, s.max);
+  EXPECT_NEAR(s.mean, a.avg_row_nnz(), 1e-9);
+  EXPECT_GE(s.stddev, 0.0);
+}
+
+TEST(Generators, UniformRandomIsDeterministicAndInRange) {
+  const Csr a = uniform_random(1000, 1000, 8000, 42);
+  const Csr b = uniform_random(1000, 1000, 8000, 42);
+  EXPECT_EQ(a, b);
+  EXPECT_NO_THROW(a.validate());
+  // Dedup shrinks slightly; must stay close to target.
+  EXPECT_GT(a.nnz(), 7800);
+  EXPECT_LE(a.nnz(), 8000);
+  for (value_t v : a.val) {
+    EXPECT_GE(v, 0.25f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Generators, DifferentSeedsDiffer) {
+  EXPECT_NE(uniform_random(100, 100, 500, 1), uniform_random(100, 100, 500, 2));
+}
+
+TEST(Generators, RmatIsSkewed) {
+  const Csr a = rmat(12, 8.0, 0.55, 0.2, 0.2, 10);
+  const auto s = degree_stats(a);
+  EXPECT_GT(s.max, 4 * s.mean) << "RMAT should produce heavy-tailed degrees";
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(Generators, RmatRejectsBadProbabilities) {
+  EXPECT_THROW(rmat(8, 4.0, 0.6, 0.3, 0.3, 1), std::runtime_error);
+}
+
+TEST(Generators, GridRoadHasLowUniformDegree) {
+  const Csr a = grid_road(10000, 0.0, 11);
+  const auto s = degree_stats(a);
+  EXPECT_LE(s.max, 4);
+  EXPECT_GE(s.mean, 2.0);
+  EXPECT_LE(s.mean, 4.0);
+}
+
+TEST(Generators, CitationGraphHasMildSkewAndNoSelfLoops) {
+  const Csr a = citation_graph(5000, 25000, 12);
+  for (index_t i = 0; i < a.rows; ++i) {
+    for (index_t p = a.rowptr[static_cast<std::size_t>(i)];
+         p < a.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      EXPECT_NE(a.colind[static_cast<std::size_t>(p)], i) << "self loop at " << i;
+    }
+  }
+  const auto t = transpose(a);
+  const auto s = degree_stats(t);  // in-degree skew from preferential attachment
+  EXPECT_GT(s.max, 2 * s.mean);
+}
+
+}  // namespace
+}  // namespace gespmm::sparse

@@ -1,0 +1,139 @@
+/// Property sweep over the generator space: every structural invariant of
+/// the sparse substrate must hold for every generator family, size and
+/// seed (parameterized gtest, one fixture - many graphs).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/aspt.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/generators.hpp"
+
+namespace gespmm::sparse {
+namespace {
+
+struct GenCase {
+  std::string name;
+  Csr matrix;
+};
+
+GenCase make_case(int id) {
+  switch (id) {
+    case 0: return {"uniform_small", uniform_random(64, 64, 256, 900)};
+    case 1: return {"uniform_wide", uniform_random(128, 512, 2048, 901)};
+    case 2: return {"uniform_tall", uniform_random(512, 128, 2048, 902)};
+    case 3: return {"uniform_dense", uniform_random(96, 96, 4000, 903)};
+    case 4: return {"rmat_mild", rmat(8, 4.0, 0.4, 0.25, 0.25, 904)};
+    case 5: return {"rmat_skewed", rmat(10, 8.0, 0.6, 0.18, 0.18, 905)};
+    case 6: return {"rmat_heavy", rmat(9, 16.0, 0.65, 0.15, 0.15, 906)};
+    case 7: return {"road_small", grid_road(400, 0.1, 907)};
+    case 8: return {"road_large", grid_road(10000, 0.5, 908)};
+    case 9: return {"citation_small", citation_graph(300, 1500, 909)};
+    case 10: return {"citation_large", citation_graph(5000, 20000, 910)};
+    case 11: return {"empty", Csr(32, 32)};
+    case 12: return {"single_row", csr_from_triplets(1, 8, std::vector<index_t>{0, 0},
+                                                     std::vector<index_t>{1, 7},
+                                                     std::vector<value_t>{1.f, 2.f})};
+    default: throw std::out_of_range("bad case");
+  }
+}
+
+class SparseProperties : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { c_ = make_case(GetParam()); }
+  GenCase c_;
+};
+
+TEST_P(SparseProperties, ValidatesAndRowsSorted) {
+  ASSERT_NO_THROW(c_.matrix.validate()) << c_.name;
+  EXPECT_TRUE(c_.matrix.rows_sorted()) << c_.name << ": triplet build must sort rows";
+}
+
+TEST_P(SparseProperties, TransposeIsInvolutionAndPreservesNnz) {
+  const Csr t = transpose(c_.matrix);
+  EXPECT_EQ(t.nnz(), c_.matrix.nnz());
+  EXPECT_EQ(t.rows, c_.matrix.cols);
+  EXPECT_EQ(transpose(t), c_.matrix);
+}
+
+TEST_P(SparseProperties, CooRoundTrip) {
+  EXPECT_EQ(coo_to_csr(csr_to_coo(c_.matrix)), c_.matrix);
+}
+
+TEST_P(SparseProperties, EllRoundTrip) {
+  const EllR e = csr_to_ell(c_.matrix);
+  EXPECT_EQ(ell_to_csr(e), c_.matrix);
+  EXPECT_GE(e.padding_overhead(c_.matrix.nnz()), 0.0);
+  EXPECT_LE(e.padding_overhead(c_.matrix.nnz()), 1.0);
+}
+
+TEST_P(SparseProperties, AsptPartitionIsLossless) {
+  const auto build = build_aspt(c_.matrix);
+  EXPECT_EQ(build.matrix.heavy_nnz + build.matrix.light_nnz, c_.matrix.nnz());
+  Csr back = aspt_to_csr(build.matrix);
+  back.sort_rows();
+  Csr orig = c_.matrix;
+  orig.sort_rows();
+  EXPECT_EQ(back, orig) << c_.name;
+}
+
+TEST_P(SparseProperties, RowNormalizePreservesStructure) {
+  if (c_.matrix.rows != c_.matrix.cols) return;  // normalization is square-only
+  const Csr n = row_normalize(c_.matrix);
+  EXPECT_EQ(n.rowptr, c_.matrix.rowptr);
+  EXPECT_EQ(n.colind, c_.matrix.colind);
+  for (index_t i = 0; i < n.rows; ++i) {
+    double sum = 0.0;
+    for (index_t p = n.rowptr[static_cast<std::size_t>(i)];
+         p < n.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      sum += n.val[static_cast<std::size_t>(p)];
+    }
+    if (c_.matrix.row_nnz(i) > 0) {
+      EXPECT_NEAR(sum, 1.0, 1e-4) << c_.name << " row " << i;
+    }
+  }
+}
+
+TEST_P(SparseProperties, GcnNormalizeIsSymmetricOnSymmetricInput) {
+  if (c_.matrix.rows != c_.matrix.cols) return;
+  // Symmetrize first: A + A^T (values summed) is symmetric by construction.
+  const Csr at = transpose(c_.matrix);
+  Coo merged = csr_to_coo(c_.matrix);
+  const Coo extra = csr_to_coo(at);
+  merged.row.insert(merged.row.end(), extra.row.begin(), extra.row.end());
+  merged.col.insert(merged.col.end(), extra.col.begin(), extra.col.end());
+  merged.val.insert(merged.val.end(), extra.val.begin(), extra.val.end());
+  const Csr sym = coo_to_csr(merged);
+  const Csr norm = gcn_normalize(sym);
+  const Csr norm_t = transpose(norm);
+  ASSERT_EQ(norm.nnz(), norm_t.nnz());
+  Csr a = norm, b = norm_t;
+  a.sort_rows();
+  b.sort_rows();
+  for (std::size_t p = 0; p < a.val.size(); ++p) {
+    EXPECT_EQ(a.colind[p], b.colind[p]);
+    EXPECT_NEAR(a.val[p], b.val[p], 1e-5f) << c_.name;
+  }
+}
+
+TEST_P(SparseProperties, DegreeStatsBounded) {
+  const auto s = degree_stats(c_.matrix);
+  EXPECT_LE(s.min, s.max);
+  EXPECT_GE(s.mean, s.min);
+  EXPECT_LE(s.mean, s.max);
+  if (c_.matrix.rows > 0) {
+    EXPECT_NEAR(s.mean * c_.matrix.rows, c_.matrix.nnz(), 0.5);
+  }
+}
+
+std::string case_name(const ::testing::TestParamInfo<int>& info) {
+  return make_case(info.param).name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, SparseProperties, ::testing::Range(0, 13),
+                         case_name);
+
+}  // namespace
+}  // namespace gespmm::sparse
