@@ -1,0 +1,23 @@
+# Resolve GoogleTest hermetically so the build works offline: prefer the
+# system source tree shipped by libgtest-dev, fall back to FetchContent
+# only when it is absent. Exposes GTest::gtest_main either way.
+if(NOT TARGET GTest::gtest_main)
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  if(EXISTS /usr/src/googletest/CMakeLists.txt)
+    add_subdirectory(/usr/src/googletest
+      ${CMAKE_BINARY_DIR}/_deps/googletest-build EXCLUDE_FROM_ALL)
+  else()
+    include(FetchContent)
+    FetchContent_Declare(googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+      URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+    FetchContent_MakeAvailable(googletest)
+  endif()
+endif()
+
+if(NOT TARGET GTest::gtest_main AND TARGET gtest_main)
+  add_library(GTest::gtest_main ALIAS gtest_main)
+  add_library(GTest::gtest ALIAS gtest)
+endif()

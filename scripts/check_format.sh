@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# clang-format gate over src/ tests/ bench/ examples/. Fails (exit 1) when
+# any file needs reformatting; prints the offending files and a fix command.
+# Skips with a warning when clang-format is not installed so minimal CI
+# images can still run the build+test half of the pipeline.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [[ -z "$CLANG_FORMAT" ]]; then
+  for candidate in clang-format clang-format-19 clang-format-18 \
+                   clang-format-17 clang-format-16 clang-format-15 \
+                   clang-format-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CLANG_FORMAT="$candidate"
+      break
+    fi
+  done
+fi
+
+if [[ -z "$CLANG_FORMAT" ]]; then
+  echo "check_format: clang-format not found; skipping format gate" >&2
+  exit 0
+fi
+
+mapfile -t files < <(find src tests bench examples \
+  \( -name '*.cpp' -o -name '*.hpp' \) | sort)
+
+bad=()
+for f in "${files[@]}"; do
+  if ! "$CLANG_FORMAT" --dry-run --Werror "$f" >/dev/null 2>&1; then
+    bad+=("$f")
+  fi
+done
+
+if ((${#bad[@]})); then
+  printf 'check_format: %d file(s) need reformatting:\n' "${#bad[@]}" >&2
+  printf '  %s\n' "${bad[@]}" >&2
+  printf 'fix with: %s -i %s\n' "$CLANG_FORMAT" "${bad[*]}" >&2
+  exit 1
+fi
+
+echo "check_format: ${#files[@]} files clean"

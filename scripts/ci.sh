@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full CI pipeline: configure -> build -j -> ctest. Mirrors the tier-1
+# verify command; usable locally and from .github/workflows/ci.yml.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S . "$@"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --no-tests=error --output-on-failure -j "$JOBS"
+
+# Opt-in: the workflow's dedicated (advisory) format job calls
+# check_format.sh directly; running it unconditionally here would hard-fail
+# the required build job on runners that ship clang-format.
+if [[ "${RUN_FORMAT_GATE:-0}" == "1" ]]; then
+  ./scripts/check_format.sh
+fi

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/version.hpp"
 #include "kernels/spmm_host.hpp"
 #include "kernels/spmm_problem.hpp"
 
@@ -9,7 +10,7 @@ namespace gespmm {
 
 ProfileOptions::ProfileOptions() : device(gpusim::gtx1080ti()) {}
 
-const char* version() { return "1.0.0"; }
+const char* version() { return GESPMM_VERSION; }
 
 namespace {
 

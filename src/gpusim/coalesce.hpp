@@ -74,7 +74,9 @@ inline CoalesceResult coalesce_gather(const Lanes<std::uint64_t>& addrs, int esi
   std::array<std::uint64_t, kWarpSize> act{};
   int n = 0;
   for (int l = 0; l < kWarpSize; ++l) {
-    if (lane_active(mask, l)) act[static_cast<std::size_t>(n++)] = addrs[static_cast<std::size_t>(l)];
+    if (lane_active(mask, l)) {
+      act[static_cast<std::size_t>(n++)] = addrs[static_cast<std::size_t>(l)];
+    }
   }
   std::sort(act.begin(), act.begin() + n);
   std::uint64_t prev_addr = ~std::uint64_t{0};

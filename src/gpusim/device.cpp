@@ -75,8 +75,8 @@ Occupancy compute_occupancy(const DeviceSpec& dev, const LaunchConfig& cfg) {
   const int by_warps = dev.max_warps_per_sm / warps_per_block;
   const long long regs_per_block =
       static_cast<long long>(std::max(1, cfg.regs_per_thread)) * cfg.block;
-  const int by_regs =
-      static_cast<int>(std::max<long long>(0, dev.regs_per_sm / std::max<long long>(1, regs_per_block)));
+  const int by_regs = static_cast<int>(std::max<long long>(
+      0, dev.regs_per_sm / std::max<long long>(1, regs_per_block)));
   const int by_smem =
       cfg.smem_bytes == 0
           ? dev.max_blocks_per_sm

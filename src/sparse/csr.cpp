@@ -141,11 +141,15 @@ Csr gcn_normalize(const Csr& a) {
     }
   }
   for (index_t i = 0; i < ai.rows; ++i) {
-    const double di = deg[static_cast<std::size_t>(i)] > 0 ? 1.0 / std::sqrt(deg[static_cast<std::size_t>(i)]) : 0.0;
+    const double di = deg[static_cast<std::size_t>(i)] > 0
+                          ? 1.0 / std::sqrt(deg[static_cast<std::size_t>(i)])
+                          : 0.0;
     for (index_t p = ai.rowptr[static_cast<std::size_t>(i)];
          p < ai.rowptr[static_cast<std::size_t>(i) + 1]; ++p) {
       const index_t j = ai.colind[static_cast<std::size_t>(p)];
-      const double dj = deg[static_cast<std::size_t>(j)] > 0 ? 1.0 / std::sqrt(deg[static_cast<std::size_t>(j)]) : 0.0;
+      const double dj = deg[static_cast<std::size_t>(j)] > 0
+                            ? 1.0 / std::sqrt(deg[static_cast<std::size_t>(j)])
+                            : 0.0;
       ai.val[static_cast<std::size_t>(p)] =
           static_cast<value_t>(ai.val[static_cast<std::size_t>(p)] * di * dj);
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "sparse/coo.hpp"
@@ -76,6 +77,10 @@ Csr read_matrix_market_file(const std::string& path) {
 void write_matrix_market(std::ostream& out, const Csr& a) {
   out << "%%MatrixMarket matrix coordinate real general\n";
   out << "% written by gespmm\n";
+  // max_digits10 so every float value survives a write -> read roundtrip;
+  // restored on return so a shared stream's formatting is not hijacked.
+  const auto saved_precision =
+      out.precision(std::numeric_limits<value_t>::max_digits10);
   out << a.rows << ' ' << a.cols << ' ' << a.nnz() << '\n';
   for (index_t i = 0; i < a.rows; ++i) {
     for (index_t p = a.rowptr[static_cast<std::size_t>(i)];
@@ -84,6 +89,7 @@ void write_matrix_market(std::ostream& out, const Csr& a) {
           << a.val[static_cast<std::size_t>(p)] << '\n';
     }
   }
+  out.precision(saved_precision);
 }
 
 void write_matrix_market_file(const std::string& path, const Csr& a) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/gespmm.hpp"
+#include "core/version.hpp"
 #include "kernels/spmm_host.hpp"
 #include "sparse/generators.hpp"
 #include "test_util.hpp"
@@ -131,7 +132,11 @@ TEST(CoreApi, ProfileCsrmm2HandlesColMajorInternally) {
   testutil::expect_matches_reference(a, b, c, ReduceKind::Sum);
 }
 
-TEST(CoreApi, VersionIsSet) { EXPECT_STRNE(version(), ""); }
+TEST(CoreApi, VersionMatchesCMakeProjectVersion) {
+  // version() must report the CMake-stamped version, not a drifting literal.
+  EXPECT_STREQ(version(), GESPMM_VERSION);
+  EXPECT_STRNE(version(), "");
+}
 
 }  // namespace
 }  // namespace gespmm

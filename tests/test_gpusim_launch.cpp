@@ -31,7 +31,9 @@ class StreamKernel final : public Kernel {
       for (int t = 0; t < len_; t += kWarpSize) {
         const auto base = (blk.block_id() * 2 + w) % 7 * 1024 + t;
         const auto v = warp.ld_contig(*in_, base, kFullMask);
-        for (int l = 0; l < kWarpSize; ++l) acc[static_cast<std::size_t>(l)] += v[static_cast<std::size_t>(l)];
+        for (int l = 0; l < kWarpSize; ++l) {
+          acc[static_cast<std::size_t>(l)] += v[static_cast<std::size_t>(l)];
+        }
         warp.count_fma(kWarpSize);
       }
       warp.st_contig(*out_, (blk.block_id() * 2 + w) * kWarpSize % 512, acc, kFullMask);

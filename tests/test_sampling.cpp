@@ -58,8 +58,8 @@ TEST(Sampling, SampledEdgesExistInGraph) {
     const index_t v = block.output_nodes[static_cast<std::size_t>(r)];
     for (index_t p = block.adj.rowptr[static_cast<std::size_t>(r)];
          p < block.adj.rowptr[static_cast<std::size_t>(r) + 1]; ++p) {
-      const index_t u =
-          block.input_nodes[static_cast<std::size_t>(block.adj.colind[static_cast<std::size_t>(p)])];
+      const index_t u = block.input_nodes[static_cast<std::size_t>(
+          block.adj.colind[static_cast<std::size_t>(p)])];
       bool found = false;
       for (index_t q = g.rowptr[static_cast<std::size_t>(v)];
            q < g.rowptr[static_cast<std::size_t>(v) + 1]; ++q) {

@@ -56,6 +56,17 @@ inline Csr zoo_single_entry() {
 }
 inline Csr zoo_all_empty() { return Csr(6, 6); }
 
+/// The whole zoo as a named list, for sweeps that report per-case failures.
+struct ZooCase {
+  std::string name;
+  Csr matrix;
+};
+inline std::vector<ZooCase> zoo_cases() {
+  return {{"uniform", zoo_uniform()},         {"skewed", zoo_skewed()},
+          {"wide_row", zoo_wide_row()},       {"empty_rows", zoo_empty_rows()},
+          {"single_entry", zoo_single_entry()}, {"all_empty", zoo_all_empty()}};
+}
+
 /// Reference comparison with mixed-order float tolerance.
 inline void expect_matches_reference(const Csr& a, const DenseMatrix& b,
                                      const DenseMatrix& c, ReduceKind kind,
