@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "bench_common/bench_common.hpp"
+#include "bench_common/registry.hpp"
 #include "gpusim/gpusim.hpp"
 #include "kernels/spmm_crc.hpp"
 #include "kernels/spmm_crc_cwm.hpp"
@@ -42,8 +42,8 @@ class IlpOverride final : public gpusim::Kernel {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const auto opt = bench::Options::parse(argc, argv);
+GESPMM_BENCH(ablation_model) {
+  const auto& opt = ctx.opt;
   const auto matrix = sparse::profile_matrix_65k();
   const auto sample = gpusim::SamplePolicy::sampled(opt.sample_blocks * 4);
 
@@ -63,6 +63,9 @@ int main(int argc, char** argv) {
 
     Table table({"variant", "GLT(x1e6)", "time(ms)", "vs naive", "mechanism"});
     auto row = [&](const char* name, const gpusim::LaunchResult& r, const char* mech) {
+      const bool is_baseline = &r == &r_naive;
+      ctx.record(dev.name, "M=65K nnz=650K", name, 512, r.time_ms(),
+                 is_baseline ? 0.0 : r_naive.time_ms() / r.time_ms());
       table.add_row({name, Table::fmt(static_cast<double>(r.metrics.gld_transactions) / 1e6),
                      Table::fmt(r.time_ms(), 4),
                      Table::fmt(r_naive.time_ms() / r.time_ms(), 3), mech});
@@ -83,5 +86,4 @@ int main(int argc, char** argv) {
       "\nreading: on Pascal the coalescing term dominates; on Turing the L1\n"
       "absorbs broadcasts so nearly all of GE-SpMM's gain comes from CWM's\n"
       "reuse + ILP — the architectural split the paper observed empirically.\n");
-  return 0;
 }

@@ -7,15 +7,15 @@
 
 #include <cstdio>
 
-#include "bench_common/bench_common.hpp"
+#include "bench_common/registry.hpp"
 #include "core/autotune.hpp"
 #include "sparse/datasets.hpp"
 
 using namespace gespmm;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const auto opt = bench::Options::parse(argc, argv);
+GESPMM_BENCH(autotune) {
+  const auto& opt = ctx.opt;
   const sparse::index_t n = 512;
 
   for (const auto& dev : opt.devices) {
@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
       const auto res = autotune_spmm(entry.matrix, n, aopt);
       gains.push_back(res.gain_over_default);
       if (res.gain_over_default > 1.15) ++big_loss;
+      ctx.record(dev.name, entry.name, kernels::algo_name(res.best), n,
+                 res.times_ms.at(res.best), res.gain_over_default);
       table.add_row({std::to_string(i + 1), entry.name, kernels::algo_name(res.best),
                      Table::fmt(res.gain_over_default, 3)});
     }
@@ -44,5 +46,4 @@ int main(int argc, char** argv) {
   }
   std::printf("\nconclusion matches the paper: per-matrix tuning buys almost "
               "nothing — ship CF=2.\n");
-  return 0;
 }

@@ -7,15 +7,15 @@
 
 #include <cstdio>
 
-#include "bench_common/bench_common.hpp"
+#include "bench_common/registry.hpp"
 #include "kernels/registry.hpp"
 #include "sparse/datasets.hpp"
 
 using namespace gespmm;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const auto opt = bench::Options::parse(argc, argv);
+GESPMM_BENCH(fig10_gnn_graphs) {
+  const auto& opt = ctx.opt;
   const auto suite = sparse::citation_suite();
 
   double best_vs_cusparse = 0.0;
@@ -36,6 +36,9 @@ int main(int argc, char** argv) {
         const auto ge = kernels::run_spmm(kernels::SpmmAlgo::GeSpMM, p, ro);
         const double ratio = cus.time_ms() / ge.time_ms();
         best_vs_cusparse = std::max(best_vs_cusparse, ratio);
+        ctx.record(dev.name, d.name, "rowsplit_gb", n, gb.time_ms());
+        ctx.record(dev.name, d.name, "csrmm2", n, cus.time_ms());
+        ctx.record(dev.name, d.name, "gespmm", n, ge.time_ms(), ratio);
         table.add_row({d.name, Table::fmt(gb.gflops(flops), 1),
                        Table::fmt(cus.gflops(flops), 1),
                        Table::fmt(ge.gflops(flops), 1), Table::fmt(ratio, 2)});
@@ -45,5 +48,4 @@ int main(int argc, char** argv) {
   }
   std::printf("\nbest GE/cuSPARSE on citation graphs: %.2fx (paper: up to 1.62x)\n",
               best_vs_cusparse);
-  return 0;
 }

@@ -13,15 +13,15 @@
 #include <cstdio>
 #include <map>
 
-#include "bench_common/bench_common.hpp"
+#include "bench_common/registry.hpp"
 #include "kernels/registry.hpp"
 #include "sparse/datasets.hpp"
 
 using namespace gespmm;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const auto opt = bench::Options::parse(argc, argv);
+GESPMM_BENCH(fig11_snap_overall) {
+  const auto& opt = ctx.opt;
   const std::vector<sparse::index_t> ns = {128, 256, 512};
 
   // device name -> (N -> speedups over {cusparse, graphblast}).
@@ -49,6 +49,10 @@ int main(int argc, char** argv) {
         const auto ge = kernels::run_spmm(kernels::SpmmAlgo::GeSpMM, p, ro);
         summary[dev.name][n].first.push_back(cus.time_ms() / ge.time_ms());
         summary[dev.name][n].second.push_back(gb.time_ms() / ge.time_ms());
+        ctx.record(dev.name, entry.name, "rowsplit_gb", n, gb.time_ms());
+        ctx.record(dev.name, entry.name, "csrmm2", n, cus.time_ms());
+        ctx.record(dev.name, entry.name, "gespmm", n, ge.time_ms(),
+                   cus.time_ms() / ge.time_ms());
         table.add_row({std::to_string(i + 1), entry.name,
                        Table::fmt(gb.gflops(flops), 1), Table::fmt(cus.gflops(flops), 1),
                        Table::fmt(ge.gflops(flops), 1)});
@@ -73,5 +77,4 @@ int main(int argc, char** argv) {
       "\npaper Table VII: cuSPARSE 1.18/1.30/1.37 (1080Ti), 1.20/1.34/1.43 (2080);\n"
       "GraphBLAST 1.42/1.44/1.61 (1080Ti), 1.57/1.73/1.81 (2080). Expect the\n"
       "same ordering and the margin growing with N.\n");
-  return 0;
 }

@@ -9,15 +9,15 @@
 
 #include <cstdio>
 
-#include "bench_common/bench_common.hpp"
+#include "bench_common/registry.hpp"
 #include "kernels/registry.hpp"
 #include "sparse/datasets.hpp"
 
 using namespace gespmm;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const auto opt = bench::Options::parse(argc, argv);
+GESPMM_BENCH(fig12_gunrock) {
+  const auto& opt = ctx.opt;
   const auto suite = sparse::citation_suite();
 
   std::vector<double> all;
@@ -34,6 +34,8 @@ int main(int argc, char** argv) {
         const double gr = kernels::run_spmm(kernels::SpmmAlgo::Gunrock, p, ro).time_ms();
         const double ge = kernels::run_spmm(kernels::SpmmAlgo::GeSpMM, p, ro).time_ms();
         all.push_back(gr / ge);
+        ctx.record(dev.name, d.name, "gunrock", n, gr);
+        ctx.record(dev.name, d.name, "gespmm", n, ge, gr / ge);
         table.add_row({d.name, std::to_string(n), Table::fmt(gr, 4), Table::fmt(ge, 4),
                        Table::fmt(gr / ge, 2)});
       }
@@ -42,5 +44,4 @@ int main(int argc, char** argv) {
   }
   std::printf("\ngeomean speedup over GunRock-based SpMM: %.2fx (paper: 18.27x avg)\n",
               bench::geomean(all));
-  return 0;
 }

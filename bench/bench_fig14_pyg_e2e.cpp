@@ -9,32 +9,40 @@
 
 #include <cstdio>
 
-#include "bench_common/bench_common.hpp"
+#include "bench_common/registry.hpp"
 #include "gnn/train.hpp"
 #include "sparse/datasets.hpp"
 
 using namespace gespmm;
 using bench::Table;
 
-constexpr int kEpochs = 2;
+GESPMM_BENCH(fig14_pyg_e2e) {
+  const auto& opt = ctx.opt;
+  const int kEpochs = opt.quick ? 1 : 2;
 
-int main(int argc, char** argv) {
-  const auto opt = bench::Options::parse(argc, argv);
-
+  auto suite = sparse::citation_suite();
+  if (opt.quick) suite.resize(1);  // cora only: CI budget
+  const std::vector<int> layer_grid = opt.quick ? std::vector<int>{1}
+                                                : std::vector<int>{1, 2};
+  const std::vector<int> feat_grid = opt.quick ? std::vector<int>{16, 64}
+                                               : std::vector<int>{16, 64, 256};
   double best = 0.0;
   for (const auto& dev : opt.devices) {
-    for (const auto& data : sparse::citation_suite()) {
+    for (const auto& data : suite) {
       bench::banner("Fig. 14: GCN on " + data.name + " (device " + dev.name +
                     ", PyG vs PyG+GE-SpMM, " + std::to_string(kEpochs) + " epochs)");
       Table table({"(layers, feats)", "PyG (ms)", "PyG+GE-SpMM (ms)", "speedup"});
-      for (int layers : {1, 2}) {
-        for (int feats : {16, 64, 256}) {
+      for (int layers : layer_grid) {
+        for (int feats : feat_grid) {
           gnn::TrainConfig cfg;
           cfg.device = dev;
           cfg.model.kind = gnn::ModelKind::Gcn;
           cfg.model.num_layers = layers;
           cfg.model.hidden_feats = feats;
           cfg.epochs = kEpochs;
+          // Quick mode also narrows the input features (cora's native 1433
+          // input columns dominate the first layer's simulation cost).
+          if (opt.quick) cfg.model.in_feats = 32;
           cfg.model.backend = gnn::AggregatorBackend::PyGMessagePassing;
           const auto base = gnn::train(data, cfg);
           cfg.model.backend = gnn::AggregatorBackend::GeSpMM;
@@ -43,6 +51,8 @@ int main(int argc, char** argv) {
           best = std::max(best, sp);
           char label[32];
           std::snprintf(label, sizeof(label), "(%d, %d)", layers, feats);
+          ctx.record(dev.name, data.name + " " + label, "gcn_gespmm", feats,
+                     ours.cuda_time_ms, sp);
           table.add_row({label, Table::fmt(base.cuda_time_ms, 3),
                          Table::fmt(ours.cuda_time_ms, 3), Table::fmt(sp, 2)});
         }
@@ -51,5 +61,4 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\nbest CUDA-time reduction over PyG: %.2fx (paper: up to 3.67x)\n", best);
-  return 0;
 }

@@ -10,15 +10,15 @@
 
 #include <cstdio>
 
-#include "bench_common/bench_common.hpp"
+#include "bench_common/registry.hpp"
 #include "kernels/registry.hpp"
 #include "sparse/datasets.hpp"
 
 using namespace gespmm;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const auto opt = bench::Options::parse(argc, argv);
+GESPMM_BENCH(fig3_csrmm_profile) {
+  const auto& opt = ctx.opt;
   const auto dev = gpusim::gtx1080ti();  // profiled machine in the paper
   const auto matrix = sparse::profile_matrix_65k();
 
@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
     kernels::SpmmProblem p(matrix, n, kernels::Layout::ColMajor);
     const auto res = kernels::run_spmm(kernels::SpmmAlgo::Csrmm2, p, ro);
     const double txn = static_cast<double>(res.metrics.gld_transactions);
+    ctx.record(dev.name, "M=65K nnz=650K", "csrmm2", n, res.time_ms());
     table.add_row({std::to_string(n), Table::fmt(txn / 1e6),
                    Table::fmt(res.gld_throughput_gbps(), 1),
                    Table::fmt(txn / n, 0), Table::fmt(res.time_ms(), 4)});
@@ -46,5 +47,4 @@ int main(int argc, char** argv) {
       "\npaper: transactions grow ~linearly in N; throughput approaches the\n"
       "bandwidth bound once N >= 32. Check transactions_per_N flattening and\n"
       "the throughput column saturating.\n");
-  return 0;
 }

@@ -9,15 +9,15 @@
 
 #include <cstdio>
 
-#include "bench_common/bench_common.hpp"
+#include "bench_common/registry.hpp"
 #include "kernels/registry.hpp"
 #include "sparse/datasets.hpp"
 
 using namespace gespmm;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const auto opt = bench::Options::parse(argc, argv);
+GESPMM_BENCH(fig7c_adaptive) {
+  const auto& opt = ctx.opt;
 
   for (const auto& dev : opt.devices) {
     bench::banner("Fig. 7(c): adaptive algorithm choice (device " + dev.name +
@@ -38,6 +38,8 @@ int main(int argc, char** argv) {
         const double t3 = kernels::run_spmm(kernels::SpmmAlgo::CrcCwm2, p, ro).time_ms();
         r_crc.push_back(t1 / t2);
         r_cwm.push_back(t1 / t3);
+        ctx.record(dev.name, entry.name, "crc", n, t2, t1 / t2);
+        ctx.record(dev.name, entry.name, "crc_cwm2", n, t3, t1 / t3);
       }
       const auto pick = kernels::select_gespmm_algo(n);
       table.add_row({std::to_string(n), "1.000", Table::fmt(bench::geomean(r_crc), 3),
@@ -48,5 +50,4 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper: at N=16 Alg.2 >= Alg.3 (CWM overhead not amortized); at N=64\n"
       "Alg.3 wins — hence the N<=32 -> CRC, N>32 -> CRC+CWM dispatch rule.\n");
-  return 0;
 }

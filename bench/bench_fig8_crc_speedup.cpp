@@ -8,15 +8,15 @@
 
 #include <cstdio>
 
-#include "bench_common/bench_common.hpp"
+#include "bench_common/registry.hpp"
 #include "kernels/registry.hpp"
 #include "sparse/datasets.hpp"
 
 using namespace gespmm;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const auto opt = bench::Options::parse(argc, argv);
+GESPMM_BENCH(fig8_crc_speedup) {
+  const auto& opt = ctx.opt;
   const sparse::index_t n = 512;
 
   for (const auto& dev : opt.devices) {
@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
       const double t_crc = kernels::run_spmm(kernels::SpmmAlgo::Crc, p, ro).time_ms();
       const double sp = t_naive / t_crc;
       speedups.push_back(sp);
+      ctx.record(dev.name, entry.name, "crc", n, t_crc, sp);
       table.add_row({std::to_string(i + 1), entry.name, Table::fmt(t_naive, 4),
                      Table::fmt(t_crc, 4), Table::fmt(sp, 3)});
     }
@@ -45,5 +46,4 @@ int main(int argc, char** argv) {
                 dev.unified_l1 ? "1.011x — L1 absorbs broadcasts"
                                : "1.246x");
   }
-  return 0;
 }

@@ -9,15 +9,15 @@
 
 #include <cstdio>
 
-#include "bench_common/bench_common.hpp"
+#include "bench_common/registry.hpp"
 #include "kernels/registry.hpp"
 #include "sparse/datasets.hpp"
 
 using namespace gespmm;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const auto opt = bench::Options::parse(argc, argv);
+GESPMM_BENCH(fig9_cwm_cf_sweep) {
+  const auto& opt = ctx.opt;
   const sparse::index_t n = 512;
 
   for (const auto& dev : opt.devices) {
@@ -40,6 +40,9 @@ int main(int argc, char** argv) {
       sp2.push_back(base / t2);
       sp4.push_back(base / t4);
       sp8.push_back(base / t8);
+      ctx.record(dev.name, entry.name, "crc_cwm2", n, t2, base / t2);
+      ctx.record(dev.name, entry.name, "crc_cwm4", n, t4, base / t4);
+      ctx.record(dev.name, entry.name, "crc_cwm8", n, t8, base / t8);
       const double best = std::min({t2, t4, t8});
       if (t2 > 1.15 * best) ++cf2_big_loss;
       table.add_row({std::to_string(i + 1), entry.name, Table::fmt(base / t2, 3),
@@ -53,5 +56,4 @@ int main(int argc, char** argv) {
         dev.name.c_str(), bench::geomean(sp2), bench::geomean(sp4), bench::geomean(sp8),
         cf2_big_loss, count);
   }
-  return 0;
 }

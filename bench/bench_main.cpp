@@ -1,0 +1,10 @@
+/// Shared entry point for every bench binary. Each bench_*.cpp registers
+/// its body via GESPMM_BENCH; a per-bench executable links exactly one of
+/// them, while `bench_all` links the whole set and runs it in-process with
+/// a single shared Reporter (so `--json` covers every bench in one file).
+
+#include "bench_common/registry.hpp"
+
+int main(int argc, char** argv) {
+  return gespmm::bench::run_registered_benches(argc, argv);
+}

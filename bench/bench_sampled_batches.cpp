@@ -6,7 +6,7 @@
 
 #include <cstdio>
 
-#include "bench_common/bench_common.hpp"
+#include "bench_common/registry.hpp"
 #include "kernels/registry.hpp"
 #include "kernels/spmm_aspt.hpp"
 #include "sparse/datasets.hpp"
@@ -15,8 +15,8 @@
 using namespace gespmm;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const auto opt = bench::Options::parse(argc, argv);
+GESPMM_BENCH(sampled_batches) {
+  const auto& opt = ctx.opt;
   const auto data = sparse::pubmed();
   const sparse::index_t n = 64;  // hidden width during aggregation
 
@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
     Table table({"batch", "block nnz", "ge-spmm(ms)", "aspt kern+pre (ms)", "winner"});
     const auto batches = sparse::make_batches(data.adj.rows, 1024, 7);
     double ge_total = 0.0, aspt_total = 0.0;
-    const int nbatches = std::min<std::size_t>(8, batches.size());
+    const int nbatches =
+        std::min<std::size_t>(opt.quick ? 2 : 8, batches.size());
     for (int bi = 0; bi < nbatches; ++bi) {
       const auto block = sparse::sample_neighbors(
           data.adj, batches[static_cast<std::size_t>(bi)],
@@ -45,6 +46,9 @@ int main(int argc, char** argv) {
                           kernels::aspt_preprocess_time_ms(build, dev);
       ge_total += ge;
       aspt_total += aspt;
+      const std::string batch_label = "pubmed batch " + std::to_string(bi);
+      ctx.record(dev.name, batch_label, "gespmm", n, ge, aspt / ge);
+      ctx.record(dev.name, batch_label, "aspt_with_preprocess", n, aspt);
       table.add_row({std::to_string(bi), std::to_string(block.adj.nnz()),
                      Table::fmt(ge, 4), Table::fmt(aspt, 4),
                      ge < aspt ? "ge-spmm" : "aspt"});
@@ -55,5 +59,4 @@ int main(int argc, char** argv) {
   }
   std::printf("\nper-batch preprocessing can never amortize: the operand is new every\n"
               "step — the compatibility requirement the paper derives in Section II-B.\n");
-  return 0;
 }

@@ -8,15 +8,14 @@
 
 #include <cstdio>
 
-#include "bench_common/bench_common.hpp"
+#include "bench_common/registry.hpp"
 #include "gnn/train.hpp"
 #include "sparse/datasets.hpp"
 
 using namespace gespmm;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  (void)bench::Options::parse(argc, argv);
+GESPMM_BENCH(table1_spmm_fraction) {
   const auto dev = gpusim::gtx1080ti();  // Table I is measured on Machine 1
 
   bench::banner("Table I: percentage of SpMM in CUDA time during GCN training (" +
@@ -31,8 +30,12 @@ int main(int argc, char** argv) {
     cfg.model.backend = gnn::AggregatorBackend::DglCusparse;
     cfg.model.num_layers = 2;
     cfg.model.hidden_feats = 16;
-    cfg.epochs = 3;
+    cfg.epochs = ctx.opt.quick ? 1 : 3;
+    // Quick mode also narrows the input features (cora's native 1433
+    // input columns dominate the first layer's simulation cost).
+    if (ctx.opt.quick) cfg.model.in_feats = 32;
     const auto r = gnn::train(data, cfg);
+    ctx.record(dev.name, data.name, "gcn_dgl", cfg.model.hidden_feats, r.cuda_time_ms);
     table.add_row({data.name, Table::fmt(100.0 * r.spmm_fraction, 1) + "%",
                    Table::fmt(100.0 * r.gemm_ms / r.cuda_time_ms, 1) + "%",
                    Table::fmt(r.cuda_time_ms, 3)});
@@ -42,5 +45,4 @@ int main(int argc, char** argv) {
   std::printf("\npaper: Cora 33.1%%, Citeseer 29.3%%, Pubmed 29.8%% — SpMM takes ~30%%\n"
               "of training CUDA time, motivating SpMM acceleration for GNNs.\n");
   std::printf("\nop breakdown for the last graph (pubmed):\n%s", last_report.c_str());
-  return 0;
 }

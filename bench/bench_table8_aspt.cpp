@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <map>
 
-#include "bench_common/bench_common.hpp"
+#include "bench_common/registry.hpp"
 #include "kernels/registry.hpp"
 #include "kernels/spmm_aspt.hpp"
 #include "sparse/datasets.hpp"
@@ -17,8 +17,8 @@
 using namespace gespmm;
 using bench::Table;
 
-int main(int argc, char** argv) {
-  const auto opt = bench::Options::parse(argc, argv);
+GESPMM_BENCH(table8_aspt) {
+  const auto& opt = ctx.opt;
   const std::vector<sparse::index_t> ns = {128, 256, 512};
 
   bench::banner("Table VIII: GE-SpMM speed against ASpT (geomean over SNAP suite, "
@@ -43,6 +43,8 @@ int main(int argc, char** argv) {
         const double ge = kernels::run_spmm(kernels::SpmmAlgo::GeSpMM, p, ro).time_ms();
         kernel_only[n].push_back(aspt / ge);
         with_pre[n].push_back((aspt + pre_ms) / ge);
+        ctx.record(dev.name, entry.name, "aspt", n, aspt);
+        ctx.record(dev.name, entry.name, "gespmm", n, ge, aspt / ge);
         if (n == 128) pre_over_spmm.push_back(pre_ms / aspt);
       }
     }
@@ -65,5 +67,4 @@ int main(int argc, char** argv) {
       "0.85/0.93/0.98 (2080); with preprocess GE wins 1.88/1.97/2.06 and\n"
       "1.43/1.57/1.69. Expect <=1 kernel-only ratios flipping to >1 with\n"
       "preprocessing charged.\n");
-  return 0;
 }

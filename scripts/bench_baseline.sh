@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Record the committed benchmark baseline: build the bench_all driver and
+# run the full registered bench suite on both simulated devices at the
+# default protocol (snap-scale 0.25, sample budget 1024), writing
+# BENCH_baseline.json at the repo root. Modelled times are deterministic,
+# so the file only changes when the code's performance behavior changes —
+# commit the refreshed file together with the change that moved it.
+#
+# Extra bench flags pass through, e.g.:
+#   scripts/bench_baseline.sh --full          # paper-scale suite (slow)
+#   scripts/bench_baseline.sh --quick         # tiny CI-scale baseline
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_all
+
+"$BUILD_DIR"/bench/bench_all --device=both "$@" --json=BENCH_baseline.json \
+  | tee "$BUILD_DIR"/bench_baseline.log
+
+echo "wrote BENCH_baseline.json (log: $BUILD_DIR/bench_baseline.log)"

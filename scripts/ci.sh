@@ -12,9 +12,9 @@ cmake -B "$BUILD_DIR" -S . "$@"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --no-tests=error --output-on-failure -j "$JOBS"
 
-# Opt-in: the workflow's dedicated (advisory) format job calls
-# check_format.sh directly; running it unconditionally here would hard-fail
-# the required build job on runners that ship clang-format.
+# Opt-in: the workflow's dedicated format job calls check_format.sh
+# directly; running it unconditionally here would duplicate that gate in
+# the build jobs on runners that ship clang-format.
 if [[ "${RUN_FORMAT_GATE:-0}" == "1" ]]; then
   ./scripts/check_format.sh
 fi

@@ -8,6 +8,22 @@
 
 namespace gespmm::bench {
 
+std::string Options::usage() {
+  return
+      "usage: bench [options]\n"
+      "  --device=gtx1080ti|rtx2080|both  simulated device(s) (default both)\n"
+      "  --snap-scale=F                   SNAP suite size factor (default 0.25)\n"
+      "  --full                           shorthand for --snap-scale=1.0\n"
+      "  --quick                          CI preset: --snap-scale=0.05 --max-graphs=4\n"
+      "                                   --sample-blocks=256 + reduced per-bench work\n"
+      "  --max-graphs=N                   limit the SNAP sweep length (default 64)\n"
+      "  --sample-blocks=N                simulator block-sampling budget (default 1024)\n"
+      "  --json=PATH                      write the structured BenchReport to PATH\n"
+      "  --only=ID[,ID...]                run only the named registered benches\n"
+      "  --list                           print registered bench ids and exit\n"
+      "  --help, -h                       show this message\n";
+}
+
 Options Options::parse(int argc, char** argv) {
   Options opt;
   std::string device = "both";
@@ -17,20 +33,59 @@ Options Options::parse(int argc, char** argv) {
       const std::size_t n = std::strlen(prefix);
       return arg.rfind(prefix, 0) == 0 ? arg.c_str() + n : nullptr;
     };
+    auto parse_num = [&](const char* v, auto convert) {
+      try {
+        std::size_t used = 0;
+        auto parsed = convert(std::string(v), &used);
+        if (used != std::strlen(v)) throw std::invalid_argument("trailing characters");
+        return parsed;
+      } catch (const std::exception&) {
+        throw std::invalid_argument("malformed value in bench option: " + arg);
+      }
+    };
+    auto require_positive = [&](auto value) {
+      if (value <= 0) {
+        throw std::invalid_argument("value must be positive in bench option: " + arg);
+      }
+      return value;
+    };
     if (const char* v = value_of("--device=")) {
       device = v;
     } else if (const char* v = value_of("--snap-scale=")) {
-      opt.snap_scale = std::stod(v);
+      opt.snap_scale = require_positive(parse_num(
+          v, [](const std::string& s, std::size_t* u) { return std::stod(s, u); }));
     } else if (arg == "--full") {
       opt.snap_scale = 1.0;
+    } else if (arg == "--quick") {
+      opt.quick = true;
+      opt.snap_scale = 0.05;
+      opt.max_graphs = 4;
+      opt.sample_blocks = 256;
     } else if (const char* v = value_of("--max-graphs=")) {
-      opt.max_graphs = std::stoi(v);
+      opt.max_graphs = require_positive(parse_num(
+          v, [](const std::string& s, std::size_t* u) { return std::stoi(s, u); }));
     } else if (const char* v = value_of("--sample-blocks=")) {
-      opt.sample_blocks = static_cast<std::uint64_t>(std::stoll(v));
+      opt.sample_blocks = static_cast<std::uint64_t>(require_positive(parse_num(
+          v, [](const std::string& s, std::size_t* u) { return std::stoll(s, u); })));
+    } else if (const char* v = value_of("--json=")) {
+      if (*v == '\0') throw std::invalid_argument("empty path in bench option: " + arg);
+      opt.json_path = v;
+    } else if (const char* v = value_of("--only=")) {
+      std::string rest = v;
+      while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        const std::string id = rest.substr(0, comma);
+        if (!id.empty()) opt.only.push_back(id);
+        if (comma == std::string::npos) break;
+        rest.erase(0, comma + 1);
+      }
+      if (opt.only.empty()) {
+        throw std::invalid_argument("empty bench list in option: " + arg);
+      }
+    } else if (arg == "--list") {
+      opt.list = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf(
-          "options: --device=gtx1080ti|rtx2080|both --snap-scale=F --full "
-          "--max-graphs=N --sample-blocks=N\n");
+      std::printf("%s", usage().c_str());
       std::exit(0);
     } else {
       throw std::invalid_argument("unknown bench option: " + arg);
@@ -42,6 +97,15 @@ Options Options::parse(int argc, char** argv) {
     opt.devices = {gpusim::device_by_name(device)};
   }
   return opt;
+}
+
+Options Options::parse_or_exit(int argc, char** argv) {
+  try {
+    return parse(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "bench: %s\n%s", e.what(), usage().c_str());
+    std::exit(2);
+  }
 }
 
 double geomean(std::span<const double> xs) {

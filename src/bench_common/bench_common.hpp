@@ -16,15 +16,35 @@ namespace gespmm::bench {
 ///   --device=gtx1080ti|rtx2080|both   (default both)
 ///   --snap-scale=<float>              suite size factor (default 0.25)
 ///   --full                            shorthand for --snap-scale=1.0
+///   --quick                           CI preset: tiny suite + sample budget
 ///   --max-graphs=<int>                limit the SNAP sweep length
 ///   --sample-blocks=<int>             simulator block-sampling budget
+///   --json=<path>                     write a structured BenchReport
+///   --only=<id,...>                   run a subset of registered benches
+///   --list                            print registered bench ids and exit
+/// Flags apply left to right, so e.g. `--quick --max-graphs=8` widens the
+/// quick preset's graph budget.
 struct Options {
   std::vector<gpusim::DeviceSpec> devices;
   double snap_scale = 0.25;
   int max_graphs = 64;
   std::uint64_t sample_blocks = 1024;
+  bool quick = false;
+  bool list = false;
+  std::string json_path;
+  std::vector<std::string> only;
 
+  /// Strict parse; throws std::invalid_argument on any unknown flag or
+  /// malformed value (typos like --snapscale=1 must never be silently
+  /// ignored — they would corrupt a recorded baseline).
   static Options parse(int argc, char** argv);
+
+  /// Bench-main entry: like parse, but on error prints the message plus
+  /// usage to stderr and exits with status 2 instead of throwing.
+  static Options parse_or_exit(int argc, char** argv);
+
+  /// The usage text printed by --help and on parse errors.
+  static std::string usage();
 };
 
 /// Geometric mean (the paper: "All average results are based on the

@@ -1,0 +1,379 @@
+#include "bench_common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gespmm::bench {
+
+JsonParseError::JsonParseError(const std::string& what, std::size_t off)
+    : std::runtime_error(what + " (at byte " + std::to_string(off) + ")"), offset(off) {}
+
+Json Json::null() { return Json(); }
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.kind_ = Kind::Bool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.kind_ = Kind::Number;
+  j.num_ = v;
+  return j;
+}
+
+Json Json::string(std::string s) {
+  Json j;
+  j.kind_ = Kind::String;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::Array;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::Object;
+  return j;
+}
+
+namespace {
+[[noreturn]] void kind_error(const char* want) {
+  throw std::runtime_error(std::string("json: value is not a ") + want);
+}
+}  // namespace
+
+bool Json::as_bool() const {
+  if (!is_bool()) kind_error("bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (!is_number()) kind_error("number");
+  return num_;
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) kind_error("string");
+  return str_;
+}
+
+const std::vector<Json>& Json::items() const {
+  if (!is_array()) kind_error("array");
+  return arr_;
+}
+
+void Json::push_back(Json v) {
+  if (!is_array()) kind_error("array");
+  arr_.push_back(std::move(v));
+}
+
+void Json::set(const std::string& key, Json v) {
+  if (!is_object()) kind_error("object");
+  if (obj_.find(key) == obj_.end()) keys_.push_back(key);
+  obj_[key] = std::move(v);
+}
+
+const Json& Json::get(const std::string& key) const {
+  const Json* v = find(key);
+  if (!v) throw std::runtime_error("json: missing key \"" + key + "\"");
+  return *v;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (!is_object()) kind_error("object");
+  auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+const std::vector<std::string>& Json::keys() const {
+  if (!is_object()) kind_error("object");
+  return keys_;
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void number_into(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no Inf/NaN; null is the conventional stand-in.
+    out += "null";
+    return;
+  }
+  // Integers print without exponent/decimals so ids and counts stay clean;
+  // everything else uses %.17g for exact double round-trip.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent) * (depth + 1), ' ');
+  const std::string closepad(static_cast<std::size_t>(indent) * depth, ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (kind_) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += bool_ ? "true" : "false"; break;
+    case Kind::Number: number_into(out, num_); break;
+    case Kind::String: escape_into(out, str_); break;
+    case Kind::Array: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        out += pad;
+        arr_[i].dump_to(out, indent, depth + 1);
+        if (i + 1 < arr_.size()) out += ',';
+        out += nl;
+      }
+      out += closepad;
+      out += ']';
+      break;
+    }
+    case Kind::Object: {
+      if (keys_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < keys_.size(); ++i) {
+        out += pad;
+        escape_into(out, keys_[i]);
+        out += indent > 0 ? ": " : ":";
+        obj_.at(keys_[i]).dump_to(out, indent, depth + 1);
+        if (i + 1 < keys_.size()) out += ',';
+        out += nl;
+      }
+      out += closepad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& what) { throw JsonParseError(what, pos_); }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool literal(const char* word) {
+    std::size_t n = std::char_traits<char>::length(word);
+    if (s_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json::string(parse_string());
+      case 't':
+        if (literal("true")) return Json::boolean(true);
+        fail("bad literal");
+      case 'f':
+        if (literal("false")) return Json::boolean(false);
+        fail("bad literal");
+      case 'n':
+        if (literal("null")) return Json::null();
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // ASCII-only emission; our writer never produces higher escapes.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else {
+            fail("non-ASCII \\u escape unsupported by this minimal reader");
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a JSON value");
+    char* end = nullptr;
+    const std::string tok = s_.substr(start, pos_ - start);
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return Json::number(v);
+  }
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).parse_document(); }
+
+}  // namespace gespmm::bench

@@ -1,0 +1,73 @@
+#include "bench_common/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+
+namespace gespmm::bench {
+
+std::vector<BenchInfo>& bench_registry() {
+  static std::vector<BenchInfo> reg;
+  return reg;
+}
+
+BenchRegistrar::BenchRegistrar(const char* id, BenchFn fn) {
+  bench_registry().push_back({id, fn});
+}
+
+int run_registered_benches(int argc, char** argv) {
+  const Options opt = Options::parse_or_exit(argc, argv);
+
+  std::vector<BenchInfo> benches = bench_registry();
+  std::sort(benches.begin(), benches.end(),
+            [](const BenchInfo& a, const BenchInfo& b) { return a.id < b.id; });
+
+  if (!opt.only.empty()) {
+    for (const auto& want : opt.only) {
+      const bool known = std::any_of(benches.begin(), benches.end(),
+                                     [&](const BenchInfo& b) { return b.id == want; });
+      if (!known) {
+        std::fprintf(stderr, "bench: --only names unknown bench \"%s\"\n", want.c_str());
+        std::fprintf(stderr, "registered benches:\n");
+        for (const auto& b : benches) std::fprintf(stderr, "  %s\n", b.id.c_str());
+        return 2;
+      }
+    }
+    std::erase_if(benches, [&](const BenchInfo& b) {
+      return std::find(opt.only.begin(), opt.only.end(), b.id) == opt.only.end();
+    });
+  }
+
+  if (opt.list) {
+    for (const auto& b : benches) std::printf("%s\n", b.id.c_str());
+    return 0;
+  }
+
+  Reporter reporter(opt);
+  int failures = 0;
+  for (const auto& b : benches) {
+    reporter.begin_bench(b.id);
+    Context ctx{opt, reporter, b.id};
+    try {
+      b.fn(ctx);
+    } catch (const std::exception& e) {
+      ++failures;
+      std::fprintf(stderr, "bench %s FAILED: %s\n", b.id.c_str(), e.what());
+    }
+  }
+
+  if (!opt.json_path.empty()) {
+    if (reporter.write_json(opt.json_path)) {
+      std::printf("\nwrote %zu records (%zu benches) to %s\n",
+                  reporter.report().records.size(), benches.size(),
+                  opt.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "bench: cannot write JSON report to %s\n",
+                   opt.json_path.c_str());
+      return 1;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace gespmm::bench

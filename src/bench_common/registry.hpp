@@ -1,0 +1,61 @@
+#pragma once
+/// \file registry.hpp (bench_common)
+/// Self-registration of benches. Each bench/bench_*.cpp defines its body
+/// with `GESPMM_BENCH(id) { ... }` instead of a main(); linking the file
+/// into a binary registers the bench. Per-bench executables link exactly
+/// one bench source + the shared bench_main.cpp; `bench_all` links all of
+/// them and runs the whole registered set in-process, sharing one
+/// `Reporter` so `--json` produces a single report across every bench.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common/bench_common.hpp"
+#include "bench_common/reporter.hpp"
+
+namespace gespmm::bench {
+
+/// Everything a bench body gets to see: parsed options plus the shared
+/// reporter, pre-aimed at this bench's id.
+struct Context {
+  const Options& opt;
+  Reporter& reporter;
+  std::string bench_id;
+
+  /// Register a measured row (bench id filled in automatically).
+  void record(const std::string& device, const std::string& matrix,
+              const std::string& algo, int n, double time_ms, double speedup = 0.0,
+              bool wallclock = false) const {
+    reporter.add(device, matrix, algo, n, time_ms, speedup, wallclock);
+  }
+};
+
+using BenchFn = void (*)(Context&);
+
+struct BenchInfo {
+  std::string id;
+  BenchFn fn = nullptr;
+};
+
+/// All benches linked into this binary, in registration order.
+std::vector<BenchInfo>& bench_registry();
+
+/// Static-initialization hook used by GESPMM_BENCH.
+struct BenchRegistrar {
+  BenchRegistrar(const char* id, BenchFn fn);
+};
+
+/// Shared main body: parse options (usage + exit 2 on bad flags), run
+/// every registered bench in id order (honoring --only=<id,...>), then
+/// write the JSON report when --json=<path> was given. Returns the
+/// process exit code.
+int run_registered_benches(int argc, char** argv);
+
+#define GESPMM_BENCH(id)                                                  \
+  static void gespmm_bench_body_##id(::gespmm::bench::Context& ctx);      \
+  static const ::gespmm::bench::BenchRegistrar gespmm_bench_reg_##id(     \
+      #id, &gespmm_bench_body_##id);                                      \
+  static void gespmm_bench_body_##id(::gespmm::bench::Context& ctx)
+
+}  // namespace gespmm::bench

@@ -1,0 +1,37 @@
+#include "bench_common/reporter.hpp"
+
+namespace gespmm::bench {
+
+Reporter::Reporter(const Options& opt) {
+  report_.snap_scale = opt.snap_scale;
+  report_.max_graphs = opt.max_graphs;
+  report_.sample_blocks = opt.sample_blocks;
+  report_.quick = opt.quick;
+}
+
+void Reporter::begin_bench(const std::string& bench_id) { bench_id_ = bench_id; }
+
+void Reporter::add(BenchRecord rec) {
+  rec.bench = bench_id_;
+  report_.records.push_back(std::move(rec));
+}
+
+void Reporter::add(const std::string& device, const std::string& matrix,
+                   const std::string& algo, int n, double time_ms, double speedup,
+                   bool wallclock) {
+  BenchRecord rec;
+  rec.device = device;
+  rec.matrix = matrix;
+  rec.algo = algo;
+  rec.n = n;
+  rec.time_ms = time_ms;
+  rec.speedup = speedup;
+  rec.wallclock = wallclock;
+  add(std::move(rec));
+}
+
+bool Reporter::write_json(const std::string& path) const {
+  return report_.write_file(path);
+}
+
+}  // namespace gespmm::bench
