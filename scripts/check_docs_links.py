@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in the project's markdown files.
+
+Scans every tracked *.md file (git ls-files when available, else a
+filesystem walk skipping build trees) for inline markdown links and
+images. For each relative target it checks that the referenced file or
+directory exists, resolving the path against the markdown file's own
+directory; `#anchor` suffixes are stripped, and pure in-page anchors,
+absolute URLs and mailto links are ignored.
+
+Exit status: 0 clean, 1 broken link(s), 2 usage/IO error.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+# Inline links/images: [text](target) / ![alt](target). Reference-style
+# definitions are rare in this repo; inline covers the committed docs.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", "build", ".ccache"}
+
+
+def markdown_files(root):
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+             "*.md", "**/*.md"],
+            cwd=root, capture_output=True, text=True, check=True)
+        files = [f for f in out.stdout.splitlines() if f.endswith(".md")]
+        if files:
+            return sorted(set(files))
+    except (OSError, subprocess.CalledProcessError):
+        pass
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                found.append(os.path.relpath(os.path.join(dirpath, name), root))
+    return sorted(found)
+
+
+def check_file(root, md_rel):
+    md_abs = os.path.join(root, md_rel)
+    try:
+        with open(md_abs, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        print(f"check_docs_links: cannot read {md_rel}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    broken = []
+    links = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            links += 1
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = os.path.normpath(os.path.join(os.path.dirname(md_abs), path))
+            if not os.path.exists(resolved):
+                broken.append((lineno, target))
+    return broken, links
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = markdown_files(root)
+    if not files:
+        print("check_docs_links: no markdown files found", file=sys.stderr)
+        return 2
+
+    total_links = 0
+    failures = []
+    for md in files:
+        broken, links = check_file(root, md)
+        total_links += links
+        for lineno, target in broken:
+            failures.append(f"{md}:{lineno}: broken link -> {target}")
+
+    print(f"check_docs_links: {len(files)} markdown files, "
+          f"{total_links} links checked")
+    if failures:
+        print(f"\nFAIL ({len(failures)} broken link(s)):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

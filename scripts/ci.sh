@@ -12,6 +12,13 @@ cmake -B "$BUILD_DIR" -S . "$@"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --no-tests=error --output-on-failure -j "$JOBS"
 
+# Documentation gate: intra-repo markdown links must resolve. On by
+# default for local runs; the workflow's build jobs set RUN_DOCS_GATE=0
+# because its dedicated docs-check job already runs the checker once.
+if [[ "${RUN_DOCS_GATE:-1}" == "1" ]]; then
+  python3 ./scripts/check_docs_links.py
+fi
+
 # Opt-in: the workflow's dedicated format job calls check_format.sh
 # directly; running it unconditionally here would duplicate that gate in
 # the build jobs on runners that ship clang-format.

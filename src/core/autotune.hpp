@@ -17,9 +17,13 @@
 
 namespace gespmm {
 
+/// Options for one tuning run.
 struct AutotuneOptions {
+  /// Device the candidate times are modelled for (the tuned choice is
+  /// device-specific: the paper's two machines disagree on CRC's value).
   gpusim::DeviceSpec device;
-  /// Sampling budget per candidate simulation.
+  /// Simulator block-sampling budget per candidate simulation; the
+  /// default keeps a 4-candidate sweep cheaper than one full launch.
   std::uint64_t sample_blocks = 512;
   AutotuneOptions();  // defaults to gtx1080ti
 };
@@ -35,7 +39,11 @@ struct AutotuneResult {
   double gain_over_default = 1.0;
 };
 
-/// Tune the kernel choice for (a, n) on a device.
+/// Tune the kernel choice for (a, n) on a device: simulate every CF
+/// candidate (only Crc when n <= 32 — there is nothing to coarsen) and
+/// return the fastest with its margin over the paper's fixed rule.
+/// Deterministic for fixed inputs; the serving layer's PlanCache caches
+/// results per (graph, device, n).
 AutotuneResult autotune_spmm(const Csr& a, index_t n,
                              const AutotuneOptions& opt = AutotuneOptions());
 

@@ -19,10 +19,13 @@ namespace gespmm {
 
 class SpmmPlan {
  public:
-  /// Upload `a`. The matrix is validated (throws on malformed CSR).
+  /// Upload `a`. The matrix is validated (throws std::runtime_error on
+  /// malformed CSR) and copied once; every subsequent run() reuses it.
   explicit SpmmPlan(Csr a, gpusim::DeviceSpec device = gpusim::gtx1080ti());
 
+  /// The uploaded sparse operand.
   const Csr& matrix() const { return a_; }
+  /// The device all of this plan's modelled times are priced for.
   const gpusim::DeviceSpec& device() const { return device_; }
 
   /// Host-execute C = A (*) B. Shapes validated.
@@ -44,6 +47,7 @@ class SpmmPlan {
  private:
   Csr a_;
   gpusim::DeviceSpec device_;
+  /// Memoized time_ms() results, keyed by (width, reduction).
   mutable std::map<std::pair<index_t, ReduceKind>, double> profile_cache_;
   mutable double accumulated_ms_ = 0.0;
 };

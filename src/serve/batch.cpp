@@ -1,0 +1,25 @@
+#include "serve/batch.hpp"
+
+namespace gespmm::serve {
+
+std::vector<std::size_t> plan_batch(std::span<const RequestShape> pending,
+                                    const BatchConstraints& limits) {
+  std::vector<std::size_t> batch;
+  if (pending.empty()) return batch;
+
+  const RequestShape& anchor = pending[0];
+  batch.push_back(0);
+  index_t total_n = anchor.n;
+
+  for (std::size_t i = 1; i < pending.size(); ++i) {
+    if (batch.size() >= limits.max_batch_requests) break;
+    const RequestShape& r = pending[i];
+    if (r.graph != anchor.graph || r.reduce != anchor.reduce) continue;
+    if (total_n > limits.max_batch_n - r.n) continue;
+    batch.push_back(i);
+    total_n += r.n;
+  }
+  return batch;
+}
+
+}  // namespace gespmm::serve

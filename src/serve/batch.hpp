@@ -1,0 +1,53 @@
+#pragma once
+/// \file batch.hpp
+/// Batch formation policy: which queued requests coalesce into one SpMM.
+///
+/// Requests on the same registered graph with the same reduction are
+/// column-wise independent, so their feature matrices can be concatenated
+/// into one B of width sum(n_i) and answered by a *single* kernel launch —
+/// the batching opportunity of "Batched Sparse Matrix Multiplication for
+/// Accelerating Graph Convolutional Networks" (IPDPS 2019), which on this
+/// stack pays off twice: one launch overhead instead of per-request, and
+/// one pass over A's colind/val per 32-column warp tile instead of per
+/// request. Kept free of threads and engine state so the policy is
+/// unit-testable in isolation.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "serve/plan_cache.hpp"
+
+namespace gespmm::serve {
+
+/// Coalescing limits.
+struct BatchConstraints {
+  /// Widest dense matrix a single batch may accumulate. Bounds both the
+  /// coalesced B's footprint and per-request latency; a request wider
+  /// than this still runs, alone.
+  index_t max_batch_n = 256;
+  /// Most requests one batch may carry (bounds result-splitting work).
+  std::size_t max_batch_requests = 16;
+};
+
+/// The coalescing-relevant shape of one queued request.
+struct RequestShape {
+  /// GraphFingerprint::key() of the registered operand.
+  std::uint64_t graph = 0;
+  /// Width of this request's feature matrix.
+  index_t n = 0;
+  /// Requested reduction (only like reductions coalesce).
+  ReduceKind reduce = ReduceKind::Sum;
+};
+
+/// Form the next batch from a FIFO queue view: the front request anchors
+/// the batch (no starvation — the oldest request always ships), and later
+/// requests with the same (graph, reduce) join it while the summed width
+/// stays within `max_batch_n` and the count within `max_batch_requests`.
+/// Non-matching requests are skipped, not blocked: a compatible request
+/// may ride along from behind them. Returns ascending queue indices;
+/// never empty for a non-empty queue.
+std::vector<std::size_t> plan_batch(std::span<const RequestShape> pending,
+                                    const BatchConstraints& limits);
+
+}  // namespace gespmm::serve

@@ -1,0 +1,233 @@
+#include "serve/engine.hpp"
+
+#include <stdexcept>
+
+#include "kernels/spmm_host.hpp"
+
+namespace gespmm::serve {
+
+namespace detail {
+
+void RequestState::fulfill(RequestResult r) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    result = std::move(r);
+    done = true;
+  }
+  cv.notify_all();
+}
+
+const RequestResult& RequestState::wait() {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  return result;
+}
+
+}  // namespace detail
+
+bool Ticket::ready() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+ServeOptions::ServeOptions() : devices{gpusim::gtx1080ti(), gpusim::rtx2080()} {}
+
+Engine::Engine(ServeOptions opt) : opt_(std::move(opt)), plan_cache_(opt_.plan) {
+  if (opt_.devices.empty()) {
+    throw std::invalid_argument("Engine: at least one device required");
+  }
+  if (opt_.num_workers < 1) {
+    throw std::invalid_argument("Engine: at least one worker required");
+  }
+  stats_.devices.reserve(opt_.devices.size());
+  for (const auto& dev : opt_.devices) {
+    DeviceServeStats ds;
+    ds.device = dev.name;
+    stats_.devices.push_back(std::move(ds));
+  }
+  if (!opt_.start_paused) start();
+}
+
+Engine::~Engine() { shutdown(); }
+
+GraphId Engine::register_graph(const Csr& a) {
+  a.validate();
+  const GraphFingerprint fp = fingerprint(a);
+  const std::uint64_t key = fp.key();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (graphs_.contains(key)) {
+    ++stats_.register_dedup_hits;
+  } else {
+    graphs_.emplace(key, std::make_shared<const Csr>(a));
+    ++stats_.graphs_registered;
+  }
+  return GraphId{key};
+}
+
+std::shared_ptr<const Csr> Engine::graph(GraphId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(id.key);
+  if (it == graphs_.end()) {
+    throw std::invalid_argument("Engine::graph: unknown graph handle");
+  }
+  return it->second;
+}
+
+Ticket Engine::submit(GraphId id, DenseMatrix b, ReduceKind reduce) {
+  auto state = std::make_shared<detail::RequestState>();
+  state->graph_key = id.key;
+  state->reduce = reduce;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      throw std::runtime_error("Engine::submit: engine is shut down");
+    }
+    auto it = graphs_.find(id.key);
+    if (it == graphs_.end()) {
+      throw std::invalid_argument("Engine::submit: unknown graph handle");
+    }
+    state->graph = it->second;
+    if (b.rows() != state->graph->cols) {
+      throw std::invalid_argument("Engine::submit: B must have A.cols rows");
+    }
+    if (b.cols() <= 0) {
+      throw std::invalid_argument("Engine::submit: B must have at least one column");
+    }
+    if (b.layout() != kernels::Layout::RowMajor) {
+      throw std::invalid_argument("Engine::submit: B must be row-major");
+    }
+    state->b = std::move(b);
+    queue_.push_back(state);
+    ++stats_.submitted;
+  }
+  cv_.notify_one();
+  return Ticket(state);
+}
+
+void Engine::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  workers_.reserve(static_cast<std::size_t>(opt_.num_workers));
+  for (int i = 0; i < opt_.num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Engine::shutdown() {
+  start();  // a paused engine still owes its queue a drain
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+    workers.swap(workers_);
+  }
+  cv_.notify_all();
+  for (auto& w : workers) w.join();
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Engine::worker_loop() {
+  for (;;) {
+    std::vector<std::shared_ptr<detail::RequestState>> batch;
+    std::size_t device_index = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return !queue_.empty() || shutting_down_; });
+      if (queue_.empty()) return;  // shutting down and fully drained
+
+      std::vector<RequestShape> shapes;
+      shapes.reserve(queue_.size());
+      for (const auto& r : queue_) {
+        shapes.push_back({r->graph_key, r->b.cols(), r->reduce});
+      }
+      const std::vector<std::size_t> picked = plan_batch(shapes, opt_.batch);
+      batch.reserve(picked.size());
+      for (std::size_t i : picked) batch.push_back(queue_[i]);
+      // Erase back-to-front so earlier indices stay valid.
+      for (auto it = picked.rbegin(); it != picked.rend(); ++it) {
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(*it));
+      }
+      device_index = next_device_++ % opt_.devices.size();
+    }
+    execute_batch(std::move(batch), device_index);
+  }
+}
+
+void Engine::execute_batch(std::vector<std::shared_ptr<detail::RequestState>> batch,
+                           std::size_t device_index) {
+  const gpusim::DeviceSpec& dev = opt_.devices[device_index];
+  const Csr& a = *batch.front()->graph;
+  const ReduceKind reduce = batch.front()->reduce;
+
+  index_t total_n = 0;
+  for (const auto& r : batch) total_n += r->b.cols();
+
+  // Coalesce the feature matrices column-wise: B_all = [B_1 | B_2 | ...].
+  // Column independence of SpMM makes the split outputs bitwise identical
+  // to per-request execution (row-parallel host kernel, column order kept).
+  const DenseMatrix* b_all = &batch.front()->b;
+  DenseMatrix coalesced;
+  if (batch.size() > 1) {
+    coalesced = DenseMatrix(a.cols, total_n);
+    index_t col0 = 0;
+    for (const auto& r : batch) {
+      const index_t n_r = r->b.cols();
+      for (index_t i = 0; i < a.cols; ++i) {
+        for (index_t j = 0; j < n_r; ++j) {
+          coalesced.at(i, col0 + j) = r->b.at(i, j);
+        }
+      }
+      col0 += n_r;
+    }
+    b_all = &coalesced;
+  }
+
+  bool hit = false;
+  const PlanKey key{batch.front()->graph_key, dev.name, total_n, reduce};
+  const auto plan = plan_cache_.lookup_or_build(key, a, dev, &hit);
+
+  DenseMatrix c_all(a.rows, total_n);
+  kernels::spmm_host_parallel(a, *b_all, c_all, reduce);
+
+  // Account the batch before fulfilling tickets: once a ticket reads
+  // ready, its batch is visible in stats().
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DeviceServeStats& ds = stats_.devices[device_index];
+    ds.requests += batch.size();
+    ds.batches += 1;
+    ds.modelled_ms += plan->modelled_ms;
+    (hit ? ds.plan_cache_hits : ds.plan_cache_misses) += 1;
+    stats_.completed += batch.size();
+    stats_.batches += 1;
+    if (batch.size() > 1) stats_.coalesced_requests += batch.size();
+    (hit ? stats_.plan_cache_hits : stats_.plan_cache_misses) += 1;
+    stats_.modelled_ms += plan->modelled_ms;
+  }
+
+  index_t col0 = 0;
+  for (const auto& r : batch) {
+    const index_t n_r = r->b.cols();
+    RequestResult res;
+    res.c = DenseMatrix(a.rows, n_r);
+    for (index_t i = 0; i < a.rows; ++i) {
+      for (index_t j = 0; j < n_r; ++j) {
+        res.c.at(i, j) = c_all.at(i, col0 + j);
+      }
+    }
+    col0 += n_r;
+    res.algo = plan->algo;
+    res.device = dev.name;
+    res.modelled_ms = plan->modelled_ms * n_r / total_n;
+    res.plan_cache_hit = hit;
+    res.batch_size = static_cast<int>(batch.size());
+    r->fulfill(std::move(res));
+  }
+}
+
+}  // namespace gespmm::serve

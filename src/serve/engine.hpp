@@ -1,0 +1,216 @@
+#pragma once
+/// \file engine.hpp
+/// The batched SpMM serving engine: concurrent submit/wait execution of
+/// SpMM requests with plan-cache reuse and same-graph batching.
+///
+/// Request lifecycle:
+///  1. `register_graph` fingerprints a CSR operand and stores it once
+///     (re-registering an identical operand returns the existing handle);
+///  2. `submit` enqueues (graph, features, reduce) and returns a `Ticket`;
+///  3. worker threads drain the queue, coalescing same-graph same-reduce
+///     requests into one multi-feature SpMM (see batch.hpp) and
+///     round-robining batches across the configured simulated devices;
+///  4. each batch executes through a `PlanCache`d kernel plan: values are
+///     computed on the host (bitwise identical to per-request
+///     `gespmm::spmm`, column order is preserved), device time is the
+///     plan's block-sampled modelled time;
+///  5. `Ticket::wait` blocks for the request's `RequestResult`.
+///
+/// `shutdown()` (also run by the destructor) stops admission, drains every
+/// queued request, and joins the workers — no submitted request is ever
+/// dropped.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/batch.hpp"
+#include "serve/fingerprint.hpp"
+#include "serve/plan_cache.hpp"
+
+namespace gespmm::serve {
+
+using kernels::DenseMatrix;
+
+/// Engine configuration.
+struct ServeOptions {
+  /// Simulated devices batches round-robin across (default: both of the
+  /// paper's machines, GTX 1080Ti and RTX 2080).
+  std::vector<gpusim::DeviceSpec> devices;
+  /// Worker threads draining the queue.
+  int num_workers = 2;
+  /// Coalescing limits (see batch.hpp).
+  BatchConstraints batch;
+  /// Plan construction policy (see plan_cache.hpp).
+  PlanCacheOptions plan;
+  /// Construct with workers parked: nothing executes until `start()` (or
+  /// `shutdown()`, which drains). Deterministic harnesses use this to
+  /// fix batch composition independent of submission timing.
+  bool start_paused = false;
+
+  ServeOptions();  // defaults to {gtx1080ti, rtx2080}
+};
+
+/// Handle to a registered graph; cheap to copy, valid for the engine's
+/// lifetime.
+struct GraphId {
+  /// GraphFingerprint::key() of the operand.
+  std::uint64_t key = 0;
+};
+
+/// What a completed request gets back.
+struct RequestResult {
+  /// Aggregated output, rows x n, row-major — bitwise identical to what
+  /// `gespmm::spmm` would have produced for this request alone.
+  DenseMatrix c;
+  /// Kernel the serving plan selected for the *batch* this request rode in.
+  SpmmAlgo algo = SpmmAlgo::GeSpMM;
+  /// Device preset name the batch was dispatched to.
+  std::string device;
+  /// This request's width-proportional share of the batch's modelled
+  /// kernel time (ms), priced at the plan's (quantized) width — see
+  /// PlanCacheOptions::width_quantum.
+  double modelled_ms = 0.0;
+  /// Whether the batch's plan came out of the cache.
+  bool plan_cache_hit = false;
+  /// Number of requests coalesced into the batch (1 = ran alone).
+  int batch_size = 1;
+};
+
+namespace detail {
+/// Shared state between a Ticket and the worker that fulfills it.
+struct RequestState {
+  std::uint64_t graph_key = 0;
+  std::shared_ptr<const Csr> graph;
+  DenseMatrix b;
+  ReduceKind reduce = ReduceKind::Sum;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  RequestResult result;
+
+  void fulfill(RequestResult r);
+  const RequestResult& wait();
+};
+}  // namespace detail
+
+/// Future-like handle for one submitted request.
+class Ticket {
+ public:
+  Ticket() = default;
+
+  /// Block until the request completes; the result stays owned by the
+  /// ticket and is valid for its lifetime.
+  const RequestResult& wait() const { return state_->wait(); }
+
+  /// Non-blocking completion probe.
+  bool ready() const;
+
+  /// False for a default-constructed ticket.
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class Engine;
+  explicit Ticket(std::shared_ptr<detail::RequestState> s) : state_(std::move(s)) {}
+  std::shared_ptr<detail::RequestState> state_;
+};
+
+/// Per-device dispatch counters.
+struct DeviceServeStats {
+  std::string device;
+  std::uint64_t requests = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
+  /// Sum of modelled batch kernel times dispatched to this device (ms).
+  double modelled_ms = 0.0;
+};
+
+/// Snapshot of engine-wide counters (consistent: taken under one lock).
+struct EngineStats {
+  std::uint64_t graphs_registered = 0;
+  /// register_graph() calls answered by an already-registered operand.
+  std::uint64_t register_dedup_hits = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;
+  /// Requests that shared their batch with at least one other request.
+  std::uint64_t coalesced_requests = 0;
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
+  /// Total modelled device time across all batches (ms) — the serving
+  /// cost metric bench_serve_throughput compares across policies.
+  double modelled_ms = 0.0;
+  /// One entry per configured device, in ServeOptions::devices order.
+  std::vector<DeviceServeStats> devices;
+};
+
+/// The serving engine. Thread-safe: any thread may register, submit and
+/// wait concurrently.
+class Engine {
+ public:
+  explicit Engine(ServeOptions opt = ServeOptions());
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Validate + fingerprint `a` and store it (one copy per distinct
+  /// operand; identical re-registrations dedup). Throws std::runtime_error
+  /// on malformed CSR.
+  GraphId register_graph(const Csr& a);
+
+  /// The registered operand for `id`. Throws std::invalid_argument for an
+  /// unknown handle.
+  std::shared_ptr<const Csr> graph(GraphId id) const;
+
+  /// Enqueue C = A(id) (*) b. `b` must have A.cols rows and be row-major.
+  /// Throws std::invalid_argument on shape/layout mismatch or unknown
+  /// handle, std::runtime_error after shutdown.
+  Ticket submit(GraphId id, DenseMatrix b, ReduceKind reduce = ReduceKind::Sum);
+
+  /// Launch the worker threads (no-op when already running). Only needed
+  /// after constructing with `start_paused`.
+  void start();
+
+  /// Stop admission, drain every queued request, join workers. Idempotent;
+  /// also runs from the destructor.
+  void shutdown();
+
+  /// Consistent snapshot of all counters.
+  EngineStats stats() const;
+
+  /// The engine's plan cache (hit/miss/resident-plan introspection).
+  const PlanCache& plan_cache() const { return plan_cache_; }
+
+  const ServeOptions& options() const { return opt_; }
+
+ private:
+  void worker_loop();
+  void execute_batch(std::vector<std::shared_ptr<detail::RequestState>> batch,
+                     std::size_t device_index);
+
+  ServeOptions opt_;
+  PlanCache plan_cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<detail::RequestState>> queue_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool shutting_down_ = false;
+  std::size_t next_device_ = 0;
+
+  // Graph registry (guarded by mu_).
+  std::map<std::uint64_t, std::shared_ptr<const Csr>> graphs_;
+
+  // Counters (guarded by mu_).
+  EngineStats stats_;
+};
+
+}  // namespace gespmm::serve

@@ -1,0 +1,66 @@
+#include "serve/fingerprint.hpp"
+
+#include <array>
+#include <bit>
+#include <sstream>
+
+#include "sparse/rng.hpp"
+
+namespace gespmm::serve {
+
+namespace {
+
+/// SplitMix64's finalizer as a streaming combiner: deterministic,
+/// implementation-independent, and already the project's mixing function
+/// of record (sparse/rng.hpp).
+std::uint64_t mix(std::uint64_t h, std::uint64_t x) {
+  std::uint64_t z = h + 0x9e3779b97f4a7c15ull + x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t GraphFingerprint::key() const {
+  std::uint64_t h = mix(static_cast<std::uint64_t>(rows),
+                        static_cast<std::uint64_t>(cols));
+  h = mix(h, static_cast<std::uint64_t>(nnz));
+  h = mix(h, histogram_hash);
+  return mix(h, content_hash);
+}
+
+std::string GraphFingerprint::str() const {
+  std::ostringstream os;
+  os << rows << "x" << cols << ", nnz=" << nnz << ", hist=" << std::hex
+     << histogram_hash << ", content=" << content_hash;
+  return os.str();
+}
+
+GraphFingerprint fingerprint(const Csr& a) {
+  GraphFingerprint fp;
+  fp.rows = a.rows;
+  fp.cols = a.cols;
+  fp.nnz = a.nnz();
+
+  // Row-length histogram over log2 buckets: bucket b counts rows with
+  // 2^(b-1) < nnz <= 2^b (bucket 0 = empty rows). 33 buckets cover every
+  // possible 32-bit row length.
+  std::array<std::uint64_t, 33> hist{};
+  for (index_t i = 0; i < a.rows; ++i) {
+    const auto len = static_cast<std::uint32_t>(a.row_nnz(i));
+    hist[static_cast<std::size_t>(std::bit_width(len))] += 1;
+  }
+  std::uint64_t hh = 0x5ca1ab1eull;
+  for (std::uint64_t count : hist) hh = mix(hh, count);
+  fp.histogram_hash = hh;
+
+  std::uint64_t ch = 0xc0ffeeull;
+  for (index_t p : a.rowptr) ch = mix(ch, static_cast<std::uint64_t>(p));
+  for (index_t c : a.colind) ch = mix(ch, static_cast<std::uint64_t>(c));
+  for (float v : a.val) ch = mix(ch, std::bit_cast<std::uint32_t>(v));
+  fp.content_hash = ch;
+  return fp;
+}
+
+}  // namespace gespmm::serve

@@ -1,0 +1,53 @@
+#pragma once
+/// \file fingerprint.hpp
+/// Structural fingerprints of CSR operands — the identity the serving
+/// engine's graph registry and plan cache key on.
+///
+/// Two requests "use the same graph" exactly when their operands would
+/// drive the simulator identically: same shape, same nonzero structure
+/// and values. Comparing full CSR arrays on every submit would be O(nnz);
+/// a fingerprint condenses the operand into shape counts, a row-length
+/// histogram hash (the property the adaptive kernel choice and the cost
+/// model's load-imbalance tail depend on) and a content hash over
+/// colind/val, so registry lookups are O(1) after one O(nnz) pass at
+/// registration time.
+
+#include <cstdint>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace gespmm::serve {
+
+using sparse::Csr;
+using sparse::index_t;
+
+/// Identity of a registered sparse operand.
+struct GraphFingerprint {
+  /// Row count of the operand (C's row count).
+  index_t rows = 0;
+  /// Column count of the operand (B's required row count).
+  index_t cols = 0;
+  /// Nonzero count.
+  index_t nnz = 0;
+  /// SplitMix64-mixed hash over the log2-bucketed row-length histogram —
+  /// the skew summary that distinguishes e.g. a uniform matrix from a
+  /// power-law graph of identical (rows, cols, nnz).
+  std::uint64_t histogram_hash = 0;
+  /// Hash over rowptr/colind/val contents (catches same-shape,
+  /// same-histogram operands with different structure or edge weights).
+  std::uint64_t content_hash = 0;
+
+  /// Single 64-bit key for hash maps; mixes all five fields.
+  std::uint64_t key() const;
+
+  /// "rows x cols, nnz=…, hist=…, content=…" — for logs and stats dumps.
+  std::string str() const;
+
+  bool operator==(const GraphFingerprint&) const = default;
+};
+
+/// One O(nnz) pass over a validated CSR.
+GraphFingerprint fingerprint(const Csr& a);
+
+}  // namespace gespmm::serve

@@ -1,0 +1,72 @@
+#include "serve/plan_cache.hpp"
+
+#include "kernels/registry.hpp"
+#include "kernels/spmm_problem.hpp"
+
+namespace gespmm::serve {
+
+std::shared_ptr<const CachedPlan> PlanCache::lookup_or_build(
+    const PlanKey& raw_key, const Csr& a, const gpusim::DeviceSpec& device,
+    bool* was_hit) {
+  PlanKey key = raw_key;
+  if (opt_.width_quantum > 1) {
+    const index_t q = opt_.width_quantum;
+    key.n = (key.n + q - 1) / q * q;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = plans_.find(key); it != plans_.end()) {
+      ++hits_;
+      if (was_hit) *was_hit = true;
+      return it->second;
+    }
+    ++misses_;
+  }
+  if (was_hit) *was_hit = false;
+
+  // Build outside the lock: a simulated candidate sweep is the expensive
+  // part and must not block cache hits on other graphs. Two threads
+  // racing the same key both build identical (deterministic) plans; the
+  // first insert wins.
+  auto plan = std::make_shared<CachedPlan>();
+  if (opt_.autotune && key.reduce == ReduceKind::Sum) {
+    AutotuneOptions aopt;
+    aopt.device = device;
+    aopt.sample_blocks = opt_.sample_blocks;
+    const AutotuneResult res = autotune_spmm(a, key.n, aopt);
+    plan->algo = res.best;
+    plan->modelled_ms = res.times_ms.at(res.best);
+    plan->autotuned = true;
+    plan->gain_over_default = res.gain_over_default;
+  } else {
+    plan->algo = kernels::select_gespmm_algo(key.n);
+    kernels::SpmmProblem p(a, key.n);
+    kernels::SpmmRunOptions ro;
+    ro.device = device;
+    ro.sample = gpusim::SamplePolicy::sampled(opt_.sample_blocks);
+    ro.reduce = key.reduce;
+    plan->modelled_ms = kernels::run_spmm(plan->algo, p, ro).time_ms();
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = plans_.emplace(key, std::move(plan));
+  (void)inserted;
+  return it->second;
+}
+
+std::uint64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+}  // namespace gespmm::serve

@@ -1,0 +1,97 @@
+#pragma once
+/// \file plan_cache.hpp
+/// Thread-safe cache of execution plans keyed by (graph fingerprint,
+/// device, dense width, reduction).
+///
+/// A *plan* is the outcome of algorithm selection for one SpMM shape: the
+/// kernel to run and its modelled device time. Building one costs a
+/// block-sampled simulator pass per candidate (the `src/core/autotune`
+/// tuner); serving the same graph repeatedly must pay that once, not per
+/// request — the plan-reuse argument of GE-SpMM's repeated-SpMM GNN
+/// setting. Entries are immutable once built, so readers share them
+/// lock-free via shared_ptr.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/autotune.hpp"
+#include "serve/fingerprint.hpp"
+
+namespace gespmm::serve {
+
+using kernels::ReduceKind;
+using kernels::SpmmAlgo;
+
+/// Cache key: everything algorithm selection depends on.
+struct PlanKey {
+  /// GraphFingerprint::key() of the registered operand.
+  std::uint64_t graph = 0;
+  /// Device preset name ("gtx1080ti" / "rtx2080").
+  std::string device;
+  /// Dense-matrix width N the kernel will run at (after batching).
+  index_t n = 0;
+  /// Reduction of the SpMM-like operation.
+  ReduceKind reduce = ReduceKind::Sum;
+
+  auto operator<=>(const PlanKey&) const = default;
+};
+
+/// An immutable, cached algorithm-selection result.
+struct CachedPlan {
+  /// Kernel the engine will account this shape against.
+  SpmmAlgo algo = SpmmAlgo::GeSpMM;
+  /// Block-sampled modelled device time for one SpMM at this shape (ms).
+  double modelled_ms = 0.0;
+  /// Whether `algo` came from the CF autotuner (sum reductions) or the
+  /// paper's fixed Fig. 7(c) rule (non-sum reductions are not tuned: the
+  /// tuner's candidate sweep is calibrated for the standard semiring).
+  bool autotuned = false;
+  /// time(fixed rule) / time(algo); 1.0 when the fixed rule was optimal.
+  double gain_over_default = 1.0;
+};
+
+/// How plans are built on a cache miss.
+struct PlanCacheOptions {
+  /// Run the CF autotuner (sum reductions only) instead of the fixed rule.
+  bool autotune = true;
+  /// Simulator block-sampling budget per candidate.
+  std::uint64_t sample_blocks = 512;
+  /// Plan widths are quantized up to a multiple of this before lookup, so
+  /// variable batch compositions (16+32, 3x16, ...) share plans instead of
+  /// each paying a candidate sweep. One warp covers 32 output columns with
+  /// lane masking, so the kernel choice is insensitive within a 32-wide
+  /// bucket and the quantized modelled time is a (<= 31 columns) upper
+  /// bound of the exact one. Set 1 for exact-width keys.
+  index_t width_quantum = 32;
+};
+
+/// Thread-safe lookup-or-build plan store with hit/miss accounting.
+class PlanCache {
+ public:
+  explicit PlanCache(PlanCacheOptions opt = {}) : opt_(opt) {}
+
+  /// Return the plan for `key` (its width quantized per `width_quantum`),
+  /// building it from `a` on `device` if absent. `was_hit` (optional)
+  /// reports whether the plan was already cached. Concurrent misses on the
+  /// same key both build (deterministically identical) plans; the first
+  /// insert wins.
+  std::shared_ptr<const CachedPlan> lookup_or_build(
+      const PlanKey& key, const Csr& a, const gpusim::DeviceSpec& device,
+      bool* was_hit = nullptr);
+
+  /// Cache hits / misses / resident plans since construction.
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t size() const;
+
+ private:
+  PlanCacheOptions opt_;
+  mutable std::mutex mu_;
+  std::map<PlanKey, std::shared_ptr<const CachedPlan>> plans_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace gespmm::serve
