@@ -1,0 +1,165 @@
+/// Extension bench: cross-graph fairness of the v2 serving scheduler.
+///
+/// Workload: the largest citation graph is *hot* — it floods the queue
+/// with a 96-request burst before any other traffic — while the two
+/// remaining graphs trickle 16 requests each behind it (width 16
+/// throughout). The v1 FIFO policy serves the entire hot backlog first,
+/// so every cold request's completion stamp sits at the end of the
+/// schedule; deficit round-robin (quantum 256 columns) interleaves one
+/// full-width hot batch per rotation with the cold queues, pulling cold
+/// completions forward without changing batch composition.
+///
+/// Reported per device: total modelled device time and throughput per
+/// policy (fairness must be ~free in aggregate) and the cold graphs'
+/// p50/p95 modelled completion stamps (the latency win). Engines run one
+/// worker, paused until fully enqueued, so batch composition — and
+/// therefore every recorded number — is deterministic.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common/registry.hpp"
+#include "serve/engine.hpp"
+#include "sparse/datasets.hpp"
+
+using namespace gespmm;
+using bench::Table;
+
+namespace {
+
+constexpr int kHotRequests = 96;
+constexpr int kColdRequestsPerGraph = 16;
+constexpr sparse::index_t kRequestN = 16;
+
+serve::ServeOptions fairness_opts(const gpusim::DeviceSpec& device,
+                                  serve::SchedulePolicy policy,
+                                  std::uint64_t sample_blocks) {
+  serve::ServeOptions sopt;
+  sopt.devices = {device};
+  sopt.num_workers = 1;
+  sopt.start_paused = true;
+  sopt.batch.max_batch_requests = 16;
+  sopt.batch.max_batch_n = 256;
+  sopt.scheduler.policy = policy;
+  sopt.scheduler.quantum = 256;
+  sopt.plan.sample_blocks = sample_blocks;
+  return sopt;
+}
+
+double percentile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t idx =
+      std::min(xs.size() - 1,
+               static_cast<std::size_t>(q * static_cast<double>(xs.size())));
+  return xs[idx];
+}
+
+struct PolicyRun {
+  serve::EngineStats stats;
+  std::vector<double> hot_completions;
+  std::vector<double> cold_completions;
+};
+
+/// Hot burst first, then the cold trickle; drain and collect completion
+/// stamps (the dispatched device's cumulative modelled ms per request).
+PolicyRun run_workload(const gpusim::DeviceSpec& device,
+                       serve::SchedulePolicy policy,
+                       const std::vector<sparse::GraphDataset>& graphs,
+                       std::size_t hot_index, std::uint64_t sample_blocks) {
+  serve::Engine eng(fairness_opts(device, policy, sample_blocks));
+  std::vector<serve::GraphId> ids;
+  ids.reserve(graphs.size());
+  for (const auto& g : graphs) ids.push_back(eng.register_graph(g.adj));
+
+  std::vector<serve::Ticket> hot, cold;
+  for (int r = 0; r < kHotRequests; ++r) {
+    kernels::DenseMatrix b(graphs[hot_index].adj.cols, kRequestN);
+    kernels::fill_random(b, 5200 + static_cast<std::uint64_t>(r));
+    hot.push_back(eng.submit(ids[hot_index], std::move(b)));
+  }
+  for (int r = 0; r < kColdRequestsPerGraph; ++r) {
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+      if (gi == hot_index) continue;
+      kernels::DenseMatrix b(graphs[gi].adj.cols, kRequestN);
+      kernels::fill_random(b, 5600 + 10 * static_cast<std::uint64_t>(gi) +
+                                  static_cast<std::uint64_t>(r));
+      cold.push_back(eng.submit(ids[gi], std::move(b)));
+    }
+  }
+  eng.shutdown();
+
+  PolicyRun run;
+  for (const auto& t : hot) run.hot_completions.push_back(t.wait().completed_at_ms);
+  for (const auto& t : cold) run.cold_completions.push_back(t.wait().completed_at_ms);
+  run.stats = eng.stats();
+  return run;
+}
+
+double throughput_rps(const serve::EngineStats& st) {
+  return st.modelled_ms > 0.0 ? static_cast<double>(st.completed) /
+                                    (st.modelled_ms * 1e-3)
+                              : 0.0;
+}
+
+}  // namespace
+
+GESPMM_BENCH(serve_fairness) {
+  const auto& opt = ctx.opt;
+  const auto graphs = sparse::citation_suite();
+  std::size_t hot_index = 0;
+  for (std::size_t gi = 1; gi < graphs.size(); ++gi) {
+    if (graphs[gi].adj.nnz() > graphs[hot_index].adj.nnz()) hot_index = gi;
+  }
+  const int cold_total =
+      kColdRequestsPerGraph * (static_cast<int>(graphs.size()) - 1);
+
+  for (const auto& dev : opt.devices) {
+    bench::banner("Serving fairness: FIFO vs DRR (device " + dev.name +
+                  ", hot " + graphs[hot_index].name + " x" +
+                  std::to_string(kHotRequests) + " burst + " +
+                  std::to_string(cold_total) + " cold, N=" +
+                  std::to_string(kRequestN) + ")");
+
+    const PolicyRun fifo = run_workload(dev, serve::SchedulePolicy::Fifo, graphs,
+                                        hot_index, opt.sample_blocks);
+    const PolicyRun drr = run_workload(dev, serve::SchedulePolicy::DeficitRoundRobin,
+                                       graphs, hot_index, opt.sample_blocks);
+
+    Table table({"policy", "batches", "modelled_ms", "req/s", "cold p50", "cold p95",
+                 "hot p95"});
+    for (const auto* run : {&fifo, &drr}) {
+      const bool is_fifo = run == &fifo;
+      table.add_row({is_fifo ? "fifo" : "drr",
+                     std::to_string(run->stats.batches),
+                     Table::fmt(run->stats.modelled_ms, 3),
+                     Table::fmt(throughput_rps(run->stats), 0),
+                     Table::fmt(percentile(run->cold_completions, 0.50), 3),
+                     Table::fmt(percentile(run->cold_completions, 0.95), 3),
+                     Table::fmt(percentile(run->hot_completions, 0.95), 3)});
+    }
+    table.print();
+
+    const double fifo_p95 = percentile(fifo.cold_completions, 0.95);
+    const double drr_p95 = percentile(drr.cold_completions, 0.95);
+    std::printf("cold p95: %.3f -> %.3f modelled ms (%.2fx); aggregate %.3f -> "
+                "%.3f ms (%.2f%% drift)\n",
+                fifo_p95, drr_p95, drr_p95 > 0.0 ? fifo_p95 / drr_p95 : 0.0,
+                fifo.stats.modelled_ms, drr.stats.modelled_ms,
+                fifo.stats.modelled_ms > 0.0
+                    ? 100.0 * (drr.stats.modelled_ms - fifo.stats.modelled_ms) /
+                          fifo.stats.modelled_ms
+                    : 0.0);
+
+    ctx.record(dev.name, "hot+cold-burst", "fifo", kRequestN,
+               fifo.stats.modelled_ms);
+    ctx.record(dev.name, "hot+cold-burst", "drr", kRequestN,
+               drr.stats.modelled_ms,
+               drr.stats.modelled_ms > 0.0
+                   ? fifo.stats.modelled_ms / drr.stats.modelled_ms
+                   : 0.0);
+    ctx.record(dev.name, "hot+cold-burst", "fifo cold-p95", kRequestN, fifo_p95);
+    ctx.record(dev.name, "hot+cold-burst", "drr cold-p95", kRequestN, drr_p95,
+               drr_p95 > 0.0 ? fifo_p95 / drr_p95 : 0.0);
+  }
+}

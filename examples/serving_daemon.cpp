@@ -1,11 +1,17 @@
-/// Serving daemon demo: the batched SpMM engine under concurrent traffic.
+/// Serving daemon demo: the batched SpMM engine under concurrent traffic,
+/// with the v2 scheduler layer in play.
 ///
 /// Four client threads fire GNN inference requests (width-16/32 feature
-/// matrices) at the three citation graphs while the engine's workers
-/// coalesce same-graph requests into multi-feature SpMMs and round-robin
-/// the batches across both simulated devices. On shutdown the daemon
-/// prints the per-device dispatch statistics and the plan-cache hit rate —
-/// the two mechanisms that make repeated-SpMM serving cheap.
+/// matrices, a mix of interactive/batch/best-effort priorities) at the
+/// three citation graphs. The engine admits against a bounded queue
+/// (shedding best-effort traffic first under pressure), schedules
+/// batches deficit-round-robin across the per-graph queues so no graph
+/// starves, coalesces same-graph requests into multi-feature SpMMs, and
+/// round-robins them across both simulated devices through an
+/// LRU-bounded plan cache. On shutdown the daemon prints the admission,
+/// per-graph scheduling, per-device dispatch and plan-cache statistics —
+/// the levers that keep a long-lived multi-tenant daemon fast and
+/// bounded.
 ///
 /// Build & run:  cmake -B build && cmake --build build -j
 ///               ./build/examples/serving_daemon
@@ -22,6 +28,8 @@ using namespace gespmm;
 int main() {
   serve::ServeOptions opt;        // both devices, two workers
   opt.plan.sample_blocks = 512;
+  opt.plan.max_entries = 8;       // long-lived daemons bound their plans
+  opt.admission.max_pending = 64; // ...and their pending queue
   serve::Engine engine(opt);
 
   // Register the graph catalogue once; identical re-registrations dedup.
@@ -33,8 +41,12 @@ int main() {
                 g.adj.rows, g.adj.nnz());
   }
 
-  // Four clients, 64 requests each, mixed across graphs and widths.
+  // Four clients, 64 requests each, mixed across graphs, widths and
+  // service classes.
   constexpr int kClients = 4, kPerClient = 64;
+  constexpr serve::Priority kPriorities[] = {
+      serve::Priority::Interactive, serve::Priority::Batch,
+      serve::Priority::BestEffort};
   std::vector<std::thread> clients;
   std::vector<std::vector<serve::Ticket>> tickets(kClients);
   for (int c = 0; c < kClients; ++c) {
@@ -46,26 +58,66 @@ int main() {
         kernels::fill_random(b, 7000 + 100 * static_cast<std::uint64_t>(c) +
                                     static_cast<std::uint64_t>(r));
         tickets[static_cast<std::size_t>(c)].push_back(
-            engine.submit(ids[gi], std::move(b)));
+            engine.submit(ids[gi], std::move(b), kernels::ReduceKind::Sum,
+                          kPriorities[r % 3]));
       }
     });
   }
   for (auto& c : clients) c.join();
 
-  // Wait for every response; sample one result's metadata per client.
+  // Wait for every response (shed tickets are already complete — their
+  // wait() returns a typed status instead of throwing); sample one
+  // result's metadata per client.
   for (int c = 0; c < kClients; ++c) {
-    for (const auto& t : tickets[static_cast<std::size_t>(c)]) t.wait();
-    const auto& last = tickets[static_cast<std::size_t>(c)].back().wait();
-    std::printf("client %d done; last request: device=%-9s algo=%s batch=%d "
-                "share=%.4f ms%s\n",
-                c, last.device.c_str(), kernels::algo_name(last.algo),
-                last.batch_size, last.modelled_ms,
-                last.plan_cache_hit ? " (plan cache hit)" : "");
+    int shed = 0;
+    const serve::RequestResult* last_ok = nullptr;
+    for (const auto& t : tickets[static_cast<std::size_t>(c)]) {
+      const auto& res = t.wait();
+      if (res.status == serve::RequestStatus::Shed) {
+        ++shed;
+      } else {
+        last_ok = &res;
+      }
+    }
+    if (last_ok != nullptr) {
+      std::printf("client %d done (%d shed); last served: device=%-9s algo=%s "
+                  "batch=%d share=%.4f ms done@%.3f ms%s\n",
+                  c, shed, last_ok->device.c_str(),
+                  kernels::algo_name(last_ok->algo), last_ok->batch_size,
+                  last_ok->modelled_ms, last_ok->completed_at_ms,
+                  last_ok->plan_cache_hit ? " (plan cache hit)" : "");
+    } else {
+      std::printf("client %d done (%d shed)\n", c, shed);
+    }
   }
 
   engine.shutdown();
   const auto st = engine.stats();
-  std::printf("\n== dispatch statistics ==\n");
+
+  std::printf("\n== admission ==\n");
+  for (std::size_t p = 0; p < serve::kNumPriorities; ++p) {
+    std::printf("%-11s: %3llu admitted, %3llu shed\n",
+                serve::priority_name(static_cast<serve::Priority>(p)),
+                static_cast<unsigned long long>(st.admission.admitted[p]),
+                static_cast<unsigned long long>(st.admission.shed[p]));
+  }
+
+  std::printf("\n== per-graph scheduling (%s) ==\n",
+              serve::schedule_policy_name(engine.options().scheduler.policy));
+  for (const auto& g : st.graphs) {  // first-submission order; match by key
+    const char* name = "?";
+    for (std::size_t gi = 0; gi < ids.size(); ++gi) {
+      if (ids[gi].key == g.graph) name = graphs[gi].name.c_str();
+    }
+    std::printf("%-9s: %3llu served in %3llu batches, %3llu deferred, "
+                "%6llu columns\n",
+                name, static_cast<unsigned long long>(g.served),
+                static_cast<unsigned long long>(g.batches),
+                static_cast<unsigned long long>(g.deferred),
+                static_cast<unsigned long long>(g.served_width));
+  }
+
+  std::printf("\n== dispatch ==\n");
   for (const auto& d : st.devices) {
     std::printf("%-9s: %3llu requests in %3llu batches, cache %llu hit / %llu "
                 "miss, %.3f modelled ms\n",
@@ -74,16 +126,20 @@ int main() {
                 static_cast<unsigned long long>(d.plan_cache_hits),
                 static_cast<unsigned long long>(d.plan_cache_misses), d.modelled_ms);
   }
-  std::printf("total: %llu requests, %llu coalesced, %llu batches, "
-              "plan cache %llu/%llu hit rate (%zu resident plans), "
+
+  const auto pc = engine.plan_cache().stats();
+  std::printf("\ntotal: %llu served + %llu shed, %llu coalesced, %llu batches, "
               "%.3f modelled ms\n",
               static_cast<unsigned long long>(st.completed),
+              static_cast<unsigned long long>(st.shed),
               static_cast<unsigned long long>(st.coalesced_requests),
-              static_cast<unsigned long long>(st.batches),
-              static_cast<unsigned long long>(st.plan_cache_hits),
-              static_cast<unsigned long long>(st.plan_cache_hits +
-                                              st.plan_cache_misses),
-              engine.plan_cache().size(), st.modelled_ms);
+              static_cast<unsigned long long>(st.batches), st.modelled_ms);
+  std::printf("plan cache: %zu resident (budget %zu, peak %zu), %llu hit / "
+              "%llu miss, %llu evicted\n",
+              pc.size, engine.options().plan.max_entries, pc.peak_size,
+              static_cast<unsigned long long>(pc.hits),
+              static_cast<unsigned long long>(pc.misses),
+              static_cast<unsigned long long>(pc.evictions));
   std::printf("serving_daemon finished.\n");
   return 0;
 }

@@ -1,0 +1,76 @@
+#include "serve/admission.hpp"
+
+#include <cmath>
+
+namespace gespmm::serve {
+
+namespace {
+
+// First occupancy at (or above) the configured fraction: shedding starts
+// when pending/max_pending >= fraction, so non-integral products round up
+// rather than shedding a slot early.
+std::size_t shed_threshold(double fraction, std::size_t max_pending) {
+  return static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(max_pending)));
+}
+
+}  // namespace
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::Interactive: return "interactive";
+    case Priority::Batch: return "batch";
+    case Priority::BestEffort: return "best-effort";
+  }
+  return "?";
+}
+
+const char* shed_reason_name(ShedReason r) {
+  switch (r) {
+    case ShedReason::None: return "none";
+    case ShedReason::QueueFull: return "queue-full";
+    case ShedReason::PriorityShed: return "priority-shed";
+  }
+  return "?";
+}
+
+AdmissionDecision admit_request(Priority p, std::size_t pending,
+                                const AdmissionOptions& opt) {
+  if (pending >= opt.max_pending) return {false, ShedReason::QueueFull};
+  if (p == Priority::BestEffort &&
+      pending >= shed_threshold(opt.best_effort_shed_fraction, opt.max_pending)) {
+    return {false, ShedReason::PriorityShed};
+  }
+  if (p == Priority::Batch &&
+      pending >= shed_threshold(opt.batch_shed_fraction, opt.max_pending)) {
+    return {false, ShedReason::PriorityShed};
+  }
+  return {true, ShedReason::None};
+}
+
+std::uint64_t AdmissionStats::total_admitted() const {
+  std::uint64_t total = 0;
+  for (const auto v : admitted) total += v;
+  return total;
+}
+
+std::uint64_t AdmissionStats::total_shed() const {
+  std::uint64_t total = 0;
+  for (const auto v : shed) total += v;
+  return total;
+}
+
+AdmissionDecision AdmissionController::admit(Priority p, std::size_t pending) {
+  const AdmissionDecision d = admit_request(p, pending, opt_);
+  const auto cls = static_cast<std::size_t>(p);
+  if (d.admitted) {
+    ++stats_.admitted[cls];
+  } else {
+    ++stats_.shed[cls];
+    (d.reason == ShedReason::QueueFull ? stats_.shed_queue_full
+                                       : stats_.shed_priority) += 1;
+  }
+  return d;
+}
+
+}  // namespace gespmm::serve

@@ -1,0 +1,103 @@
+#pragma once
+/// \file admission.hpp
+/// Admission control for the serving engine: per-request service classes,
+/// a bounded pending queue, and load shedding with typed reject reasons.
+///
+/// A long-lived daemon must bound its pending work: an unbounded queue
+/// turns overload into unbounded memory growth and unbounded latency for
+/// everyone. The controller sheds load *by class* — best-effort traffic
+/// is dropped first, batch next, interactive only once the queue is
+/// hard-full — so the least latency-critical traffic absorbs the
+/// pressure. Decisions are pure functions of (current occupancy, request
+/// priority, limits): no wall clock, no randomness, so a fixed
+/// submission order always sheds exactly the same requests and tests can
+/// pin outcomes as goldens.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace gespmm::serve {
+
+/// Request service class, ordered from most to least latency-critical.
+enum class Priority : int {
+  /// User-facing inference; shed only when the queue is hard-full.
+  Interactive = 0,
+  /// Throughput-oriented work (precompute, training epochs); shed once
+  /// occupancy crosses `AdmissionOptions::batch_shed_fraction`.
+  Batch = 1,
+  /// Scavenger traffic; shed once occupancy crosses
+  /// `AdmissionOptions::best_effort_shed_fraction`.
+  BestEffort = 2,
+};
+
+inline constexpr std::size_t kNumPriorities = 3;
+
+/// Why an admission decision shed a request.
+enum class ShedReason {
+  /// Admitted — not shed.
+  None = 0,
+  /// The pending queue is at `max_pending`; every class sheds.
+  QueueFull,
+  /// Occupancy is above this service class's shed threshold.
+  PriorityShed,
+};
+
+/// "interactive" / "batch" / "best-effort" — for logs and stats dumps.
+const char* priority_name(Priority p);
+
+/// "none" / "queue-full" / "priority-shed".
+const char* shed_reason_name(ShedReason r);
+
+/// Queue bound and per-class shed thresholds.
+struct AdmissionOptions {
+  /// Hard cap on requests pending in the scheduler (admitted but not yet
+  /// dispatched). At this occupancy even interactive requests shed.
+  std::size_t max_pending = 1024;
+  /// Occupancy fraction (of `max_pending`) at which Batch requests shed.
+  double batch_shed_fraction = 0.75;
+  /// Occupancy fraction at which BestEffort requests shed.
+  double best_effort_shed_fraction = 0.5;
+};
+
+/// Outcome of one admission check.
+struct AdmissionDecision {
+  bool admitted = true;
+  ShedReason reason = ShedReason::None;
+};
+
+/// Pure admission policy: may a request of class `p` join a queue that
+/// currently holds `pending` requests? Deterministic and stateless — the
+/// unit-testable core of the controller.
+AdmissionDecision admit_request(Priority p, std::size_t pending,
+                                const AdmissionOptions& opt);
+
+/// Per-class admitted/shed counters (indexed by Priority).
+struct AdmissionStats {
+  std::array<std::uint64_t, kNumPriorities> admitted{};
+  std::array<std::uint64_t, kNumPriorities> shed{};
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_priority = 0;
+
+  std::uint64_t total_admitted() const;
+  std::uint64_t total_shed() const;
+};
+
+/// Stateful wrapper: applies `admit_request` and counts outcomes. Not
+/// thread-safe on its own; the engine calls it under its queue lock.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions opt = {}) : opt_(opt) {}
+
+  /// Decide and record the outcome for one request.
+  AdmissionDecision admit(Priority p, std::size_t pending);
+
+  const AdmissionStats& stats() const { return stats_; }
+  const AdmissionOptions& options() const { return opt_; }
+
+ private:
+  AdmissionOptions opt_;
+  AdmissionStats stats_;
+};
+
+}  // namespace gespmm::serve

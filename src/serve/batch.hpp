@@ -11,6 +11,12 @@
 /// one pass over A's colind/val per 32-column warp tile instead of per
 /// request. Kept free of threads and engine state so the policy is
 /// unit-testable in isolation.
+///
+/// `plan_batch` is the v1 single-queue coalescing rule. The v2 engine
+/// schedules through `scheduler.hpp`, which applies the same
+/// same-(graph, reduce) / width-cap / count-cap rule per graph queue but
+/// adds priorities and deficit-round-robin width accounting; this header
+/// remains the policy's minimal, reference form.
 
 #include <cstddef>
 #include <span>

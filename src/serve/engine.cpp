@@ -32,7 +32,11 @@ bool Ticket::ready() const {
 
 ServeOptions::ServeOptions() : devices{gpusim::gtx1080ti(), gpusim::rtx2080()} {}
 
-Engine::Engine(ServeOptions opt) : opt_(std::move(opt)), plan_cache_(opt_.plan) {
+Engine::Engine(ServeOptions opt)
+    : opt_(std::move(opt)),
+      plan_cache_(opt_.plan),
+      scheduler_(opt_.scheduler, opt_.batch),
+      admission_(opt_.admission) {
   if (opt_.devices.empty()) {
     throw std::invalid_argument("Engine: at least one device required");
   }
@@ -73,10 +77,14 @@ std::shared_ptr<const Csr> Engine::graph(GraphId id) const {
   return it->second;
 }
 
-Ticket Engine::submit(GraphId id, DenseMatrix b, ReduceKind reduce) {
+Ticket Engine::submit(GraphId id, DenseMatrix b, ReduceKind reduce,
+                      Priority priority) {
   auto state = std::make_shared<detail::RequestState>();
   state->graph_key = id.key;
   state->reduce = reduce;
+  state->priority = priority;
+  bool shed = false;
+  ShedReason reason = ShedReason::None;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutting_down_) {
@@ -97,8 +105,32 @@ Ticket Engine::submit(GraphId id, DenseMatrix b, ReduceKind reduce) {
       throw std::invalid_argument("Engine::submit: B must be row-major");
     }
     state->b = std::move(b);
-    queue_.push_back(state);
-    ++stats_.submitted;
+    const AdmissionDecision d = admission_.admit(priority, scheduler_.pending());
+    if (!d.admitted) {
+      shed = true;
+      reason = d.reason;
+      ++stats_.shed;
+    } else {
+      state->seq = next_seq_++;
+      scheduler_.enqueue({state->seq, id.key, state->b.cols(), reduce, priority});
+      pending_states_.emplace(state->seq, state);
+      ++stats_.submitted;
+    }
+  }
+  if (shed) {
+    // The ticket contract for shed requests: complete immediately with a
+    // typed status; wait() returns rather than throwing. Drop the feature
+    // matrix now — shedding must bound memory even while callers hold the
+    // ticket.
+    state->b = DenseMatrix();
+    state->graph.reset();
+    RequestResult res;
+    res.status = RequestStatus::Shed;
+    res.shed_reason = reason;
+    res.priority = priority;
+    res.batch_size = 0;
+    state->fulfill(std::move(res));
+    return Ticket(state);
   }
   cv_.notify_one();
   return Ticket(state);
@@ -128,7 +160,10 @@ void Engine::shutdown() {
 
 EngineStats Engine::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  EngineStats st = stats_;
+  st.admission = admission_.stats();
+  st.graphs = scheduler_.stats();
+  return st;
 }
 
 void Engine::worker_loop() {
@@ -137,20 +172,15 @@ void Engine::worker_loop() {
     std::size_t device_index = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return !queue_.empty() || shutting_down_; });
-      if (queue_.empty()) return;  // shutting down and fully drained
+      cv_.wait(lock, [&] { return !scheduler_.empty() || shutting_down_; });
+      if (scheduler_.empty()) return;  // shutting down and fully drained
 
-      std::vector<RequestShape> shapes;
-      shapes.reserve(queue_.size());
-      for (const auto& r : queue_) {
-        shapes.push_back({r->graph_key, r->b.cols(), r->reduce});
-      }
-      const std::vector<std::size_t> picked = plan_batch(shapes, opt_.batch);
-      batch.reserve(picked.size());
-      for (std::size_t i : picked) batch.push_back(queue_[i]);
-      // Erase back-to-front so earlier indices stay valid.
-      for (auto it = picked.rbegin(); it != picked.rend(); ++it) {
-        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(*it));
+      const std::vector<std::uint64_t> seqs = scheduler_.next_batch();
+      batch.reserve(seqs.size());
+      for (const std::uint64_t seq : seqs) {
+        auto it = pending_states_.find(seq);
+        batch.push_back(std::move(it->second));
+        pending_states_.erase(it);
       }
       device_index = next_device_++ % opt_.devices.size();
     }
@@ -187,21 +217,28 @@ void Engine::execute_batch(std::vector<std::shared_ptr<detail::RequestState>> ba
     b_all = &coalesced;
   }
 
-  bool hit = false;
+  // The lease pins the plan for the duration of the batch: an in-flight
+  // plan is never evicted, so concurrent same-shape batches hit.
   const PlanKey key{batch.front()->graph_key, dev.name, total_n, reduce};
-  const auto plan = plan_cache_.lookup_or_build(key, a, dev, &hit);
+  const PlanLease lease = plan_cache_.acquire(key, a, dev);
+  const bool hit = lease.hit();
+  const auto plan = lease.plan();
 
   DenseMatrix c_all(a.rows, total_n);
   kernels::spmm_host_parallel(a, *b_all, c_all, reduce);
 
   // Account the batch before fulfilling tickets: once a ticket reads
-  // ready, its batch is visible in stats().
+  // ready, its batch is visible in stats(). completed_at is the device's
+  // cumulative modelled time including this batch — the virtual clock
+  // latency percentiles are computed over.
+  double completed_at = 0.0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     DeviceServeStats& ds = stats_.devices[device_index];
     ds.requests += batch.size();
     ds.batches += 1;
     ds.modelled_ms += plan->modelled_ms;
+    completed_at = ds.modelled_ms;
     (hit ? ds.plan_cache_hits : ds.plan_cache_misses) += 1;
     stats_.completed += batch.size();
     stats_.batches += 1;
@@ -221,9 +258,12 @@ void Engine::execute_batch(std::vector<std::shared_ptr<detail::RequestState>> ba
       }
     }
     col0 += n_r;
+    res.status = RequestStatus::Ok;
+    res.priority = r->priority;
     res.algo = plan->algo;
     res.device = dev.name;
     res.modelled_ms = plan->modelled_ms * n_r / total_n;
+    res.completed_at_ms = completed_at;
     res.plan_cache_hit = hit;
     res.batch_size = static_cast<int>(batch.size());
     r->fulfill(std::move(res));

@@ -1,36 +1,53 @@
 #pragma once
 /// \file engine.hpp
 /// The batched SpMM serving engine: concurrent submit/wait execution of
-/// SpMM requests with plan-cache reuse and same-graph batching.
+/// SpMM requests with admission control, cross-graph fair scheduling,
+/// plan-cache reuse and same-graph batching.
 ///
 /// Request lifecycle:
 ///  1. `register_graph` fingerprints a CSR operand and stores it once
 ///     (re-registering an identical operand returns the existing handle);
-///  2. `submit` enqueues (graph, features, reduce) and returns a `Ticket`;
-///  3. worker threads drain the queue, coalescing same-graph same-reduce
-///     requests into one multi-feature SpMM (see batch.hpp) and
-///     round-robining batches across the configured simulated devices;
-///  4. each batch executes through a `PlanCache`d kernel plan: values are
-///     computed on the host (bitwise identical to per-request
-///     `gespmm::spmm`, column order is preserved), device time is the
-///     plan's block-sampled modelled time;
+///  2. `submit` checks admission (see admission.hpp): a shed request's
+///     ticket completes *immediately* with `RequestStatus::Shed` and a
+///     typed `ShedReason`; an admitted request enters its graph's
+///     scheduler queue and returns a pending `Ticket`;
+///  3. worker threads pull batches from the scheduler (deficit
+///     round-robin across graphs by default, see scheduler.hpp),
+///     coalescing same-graph same-reduce requests into one multi-feature
+///     SpMM and round-robining batches across the configured simulated
+///     devices;
+///  4. each batch executes through a `PlanCache`d kernel plan (LRU-
+///     bounded, pinned while the batch is in flight): values are computed
+///     on the host (bitwise identical to per-request `gespmm::spmm`,
+///     column order is preserved), device time is the plan's
+///     block-sampled modelled time;
 ///  5. `Ticket::wait` blocks for the request's `RequestResult`.
 ///
+/// Ticket contract for shed requests: `wait()` NEVER throws and never
+/// blocks — it returns a `RequestResult` with `status ==
+/// RequestStatus::Shed`, the shedding `ShedReason`, and an empty (0 x 0)
+/// output matrix. Callers distinguish outcomes by `status`, not by
+/// exception. (`submit` itself still throws std::runtime_error once the
+/// engine is shut down, and std::invalid_argument for malformed input —
+/// those are caller errors, not load conditions.)
+///
 /// `shutdown()` (also run by the destructor) stops admission, drains every
-/// queued request, and joins the workers — no submitted request is ever
-/// dropped.
+/// *admitted* request, and joins the workers — no admitted request is
+/// ever dropped, and every shed ticket was already complete at submit.
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "serve/admission.hpp"
 #include "serve/batch.hpp"
 #include "serve/fingerprint.hpp"
 #include "serve/plan_cache.hpp"
+#include "serve/scheduler.hpp"
 
 namespace gespmm::serve {
 
@@ -45,8 +62,12 @@ struct ServeOptions {
   int num_workers = 2;
   /// Coalescing limits (see batch.hpp).
   BatchConstraints batch;
-  /// Plan construction policy (see plan_cache.hpp).
+  /// Plan construction + retention policy (see plan_cache.hpp).
   PlanCacheOptions plan;
+  /// Admission bounds and per-class shed thresholds (see admission.hpp).
+  AdmissionOptions admission;
+  /// Cross-graph scheduling policy (see scheduler.hpp).
+  SchedulerOptions scheduler;
   /// Construct with workers parked: nothing executes until `start()` (or
   /// `shutdown()`, which drains). Deterministic harnesses use this to
   /// fix batch composition independent of submission timing.
@@ -62,10 +83,26 @@ struct GraphId {
   std::uint64_t key = 0;
 };
 
+/// How a request finished.
+enum class RequestStatus {
+  /// Executed; `RequestResult::c` holds the output.
+  Ok = 0,
+  /// Shed by admission control; `RequestResult::c` is empty (0 x 0) and
+  /// `shed_reason` says why. The ticket completed at submit time.
+  Shed,
+};
+
 /// What a completed request gets back.
 struct RequestResult {
+  /// Ok or Shed — check before touching `c`.
+  RequestStatus status = RequestStatus::Ok;
+  /// Why admission shed the request (None when status == Ok).
+  ShedReason shed_reason = ShedReason::None;
+  /// Service class the request was submitted with.
+  Priority priority = Priority::Interactive;
   /// Aggregated output, rows x n, row-major — bitwise identical to what
-  /// `gespmm::spmm` would have produced for this request alone.
+  /// `gespmm::spmm` would have produced for this request alone. Empty
+  /// when the request was shed.
   DenseMatrix c;
   /// Kernel the serving plan selected for the *batch* this request rode in.
   SpmmAlgo algo = SpmmAlgo::GeSpMM;
@@ -75,9 +112,14 @@ struct RequestResult {
   /// kernel time (ms), priced at the plan's (quantized) width — see
   /// PlanCacheOptions::width_quantum.
   double modelled_ms = 0.0;
+  /// The dispatched device's cumulative modelled time (ms) when this
+  /// request's batch finished — a deterministic virtual-clock completion
+  /// stamp, the quantity latency percentiles are computed over.
+  double completed_at_ms = 0.0;
   /// Whether the batch's plan came out of the cache.
   bool plan_cache_hit = false;
-  /// Number of requests coalesced into the batch (1 = ran alone).
+  /// Number of requests coalesced into the batch (1 = ran alone; 0 for a
+  /// shed request).
   int batch_size = 1;
 };
 
@@ -85,9 +127,11 @@ namespace detail {
 /// Shared state between a Ticket and the worker that fulfills it.
 struct RequestState {
   std::uint64_t graph_key = 0;
+  std::uint64_t seq = 0;
   std::shared_ptr<const Csr> graph;
   DenseMatrix b;
   ReduceKind reduce = ReduceKind::Sum;
+  Priority priority = Priority::Interactive;
 
   std::mutex mu;
   std::condition_variable cv;
@@ -105,10 +149,12 @@ class Ticket {
   Ticket() = default;
 
   /// Block until the request completes; the result stays owned by the
-  /// ticket and is valid for its lifetime.
+  /// ticket and is valid for its lifetime. Never throws: a shed request
+  /// yields `status == RequestStatus::Shed` (already complete at submit),
+  /// an executed one `RequestStatus::Ok`.
   const RequestResult& wait() const { return state_->wait(); }
 
-  /// Non-blocking completion probe.
+  /// Non-blocking completion probe (true immediately for shed requests).
   bool ready() const;
 
   /// False for a default-constructed ticket.
@@ -136,8 +182,13 @@ struct EngineStats {
   std::uint64_t graphs_registered = 0;
   /// register_graph() calls answered by an already-registered operand.
   std::uint64_t register_dedup_hits = 0;
+  /// Requests admitted into the scheduler (shed requests are counted in
+  /// `shed` / `admission`, not here).
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
+  /// Requests rejected by admission control (their tickets completed
+  /// immediately with RequestStatus::Shed).
+  std::uint64_t shed = 0;
   std::uint64_t batches = 0;
   /// Requests that shared their batch with at least one other request.
   std::uint64_t coalesced_requests = 0;
@@ -148,6 +199,11 @@ struct EngineStats {
   double modelled_ms = 0.0;
   /// One entry per configured device, in ServeOptions::devices order.
   std::vector<DeviceServeStats> devices;
+  /// Per-class admission counters.
+  AdmissionStats admission;
+  /// Per-graph scheduling counters (served/deferred/pending), in
+  /// first-submission order.
+  std::vector<GraphServeStats> graphs;
 };
 
 /// The serving engine. Thread-safe: any thread may register, submit and
@@ -169,10 +225,14 @@ class Engine {
   /// unknown handle.
   std::shared_ptr<const Csr> graph(GraphId id) const;
 
-  /// Enqueue C = A(id) (*) b. `b` must have A.cols rows and be row-major.
-  /// Throws std::invalid_argument on shape/layout mismatch or unknown
-  /// handle, std::runtime_error after shutdown.
-  Ticket submit(GraphId id, DenseMatrix b, ReduceKind reduce = ReduceKind::Sum);
+  /// Enqueue C = A(id) (*) b at the given service class. `b` must have
+  /// A.cols rows and be row-major. Throws std::invalid_argument on
+  /// shape/layout mismatch or unknown handle, std::runtime_error after
+  /// shutdown. Under load the request may be shed instead of queued: the
+  /// returned ticket is then already complete with RequestStatus::Shed
+  /// (see the file comment for the full ticket contract).
+  Ticket submit(GraphId id, DenseMatrix b, ReduceKind reduce = ReduceKind::Sum,
+                Priority priority = Priority::Interactive);
 
   /// Launch the worker threads (no-op when already running). Only needed
   /// after constructing with `start_paused`.
@@ -185,7 +245,7 @@ class Engine {
   /// Consistent snapshot of all counters.
   EngineStats stats() const;
 
-  /// The engine's plan cache (hit/miss/resident-plan introspection).
+  /// The engine's plan cache (hit/miss/eviction/residency introspection).
   const PlanCache& plan_cache() const { return plan_cache_; }
 
   const ServeOptions& options() const { return opt_; }
@@ -200,7 +260,11 @@ class Engine {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::shared_ptr<detail::RequestState>> queue_;
+  Scheduler scheduler_;
+  AdmissionController admission_;
+  /// Admitted-but-not-dispatched requests, keyed by scheduler seq.
+  std::map<std::uint64_t, std::shared_ptr<detail::RequestState>> pending_states_;
+  std::uint64_t next_seq_ = 0;
   std::vector<std::thread> workers_;
   bool started_ = false;
   bool shutting_down_ = false;

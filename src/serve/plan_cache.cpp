@@ -1,33 +1,44 @@
 #include "serve/plan_cache.hpp"
 
+#include <algorithm>
+
 #include "kernels/registry.hpp"
 #include "kernels/spmm_problem.hpp"
 
 namespace gespmm::serve {
 
-std::shared_ptr<const CachedPlan> PlanCache::lookup_or_build(
-    const PlanKey& raw_key, const Csr& a, const gpusim::DeviceSpec& device,
-    bool* was_hit) {
-  PlanKey key = raw_key;
-  if (opt_.width_quantum > 1) {
-    const index_t q = opt_.width_quantum;
-    key.n = (key.n + q - 1) / q * q;
+PlanLease& PlanLease::operator=(PlanLease&& o) noexcept {
+  if (this != &o) {
+    release();
+    plan_ = std::move(o.plan_);
+    cache_ = o.cache_;
+    key_ = std::move(o.key_);
+    hit_ = o.hit_;
+    o.plan_ = nullptr;
+    o.cache_ = nullptr;
+    o.hit_ = false;
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (auto it = plans_.find(key); it != plans_.end()) {
-      ++hits_;
-      if (was_hit) *was_hit = true;
-      return it->second;
-    }
-    ++misses_;
-  }
-  if (was_hit) *was_hit = false;
+  return *this;
+}
 
-  // Build outside the lock: a simulated candidate sweep is the expensive
-  // part and must not block cache hits on other graphs. Two threads
-  // racing the same key both build identical (deterministic) plans; the
-  // first insert wins.
+void PlanLease::release() {
+  if (cache_ != nullptr) {
+    cache_->unpin(key_);
+    cache_ = nullptr;
+  }
+}
+
+PlanKey PlanCache::quantized(const PlanKey& key) const {
+  PlanKey q = key;
+  if (opt_.width_quantum > 1) {
+    const index_t quantum = opt_.width_quantum;
+    q.n = (q.n + quantum - 1) / quantum * quantum;
+  }
+  return q;
+}
+
+std::shared_ptr<CachedPlan> PlanCache::build(const PlanKey& key, const Csr& a,
+                                             const gpusim::DeviceSpec& device) const {
   auto plan = std::make_shared<CachedPlan>();
   if (opt_.autotune && key.reduce == ReduceKind::Sum) {
     AutotuneOptions aopt;
@@ -47,11 +58,95 @@ std::shared_ptr<const CachedPlan> PlanCache::lookup_or_build(
     ro.reduce = key.reduce;
     plan->modelled_ms = kernels::run_spmm(plan->algo, p, ro).time_ms();
   }
+  return plan;
+}
+
+void PlanCache::touch(Entry& e) {
+  lru_.splice(lru_.end(), lru_, e.lru_it);
+  e.lru_it = std::prev(lru_.end());
+}
+
+void PlanCache::unpin(const PlanKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plans_.find(key);
+  if (it != plans_.end() && it->second.pins > 0) {
+    --it->second.pins;
+    --pin_count_;
+  }
+}
+
+PlanLease PlanCache::acquire(const PlanKey& raw_key, const Csr& a,
+                             const gpusim::DeviceSpec& device) {
+  const PlanKey key = quantized(raw_key);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = plans_.find(key); it != plans_.end()) {
+      ++hits_;
+      touch(it->second);
+      ++it->second.pins;
+      ++pin_count_;
+      return PlanLease(it->second.plan, this, key, true);
+    }
+    ++misses_;
+  }
+
+  // Build outside the lock: a simulated candidate sweep is the expensive
+  // part and must not block cache hits on other graphs. Two threads
+  // racing the same key both build identical (deterministic) plans; the
+  // first insert wins.
+  auto plan = build(key, a, device);
 
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = plans_.emplace(key, std::move(plan));
+  if (auto it = plans_.find(key); it != plans_.end()) {
+    // A racer inserted first; share the resident plan.
+    touch(it->second);
+    ++it->second.pins;
+    ++pin_count_;
+    return PlanLease(it->second.plan, this, key, false);
+  }
+  while (opt_.max_entries > 0 && plans_.size() >= opt_.max_entries) {
+    // Evict the least recently used unpinned plan. The budget is a hard
+    // ceiling: if every resident plan is pinned by an in-flight batch,
+    // hand the new plan back uncached instead of breaching it.
+    auto victim = lru_.begin();
+    while (victim != lru_.end() && plans_.at(*victim).pins > 0) ++victim;
+    if (victim == lru_.end()) {
+      ++uncached_builds_;
+      return PlanLease(std::move(plan), nullptr, key, false);
+    }
+    plans_.erase(*victim);
+    lru_.erase(victim);
+    ++evictions_;
+  }
+  auto [it, inserted] = plans_.emplace(key, Entry{plan, 1, lru_.end()});
   (void)inserted;
-  return it->second;
+  it->second.lru_it = lru_.insert(lru_.end(), key);
+  ++inserts_;
+  ++pin_count_;
+  peak_size_ = std::max(peak_size_, plans_.size());
+  return PlanLease(std::move(plan), this, key, false);
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::lookup_or_build(
+    const PlanKey& key, const Csr& a, const gpusim::DeviceSpec& device,
+    bool* was_hit) {
+  PlanLease lease = acquire(key, a, device);
+  if (was_hit) *was_hit = lease.hit();
+  return lease.plan();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats st;
+  st.hits = hits_;
+  st.misses = misses_;
+  st.inserts = inserts_;
+  st.evictions = evictions_;
+  st.uncached_builds = uncached_builds_;
+  st.size = plans_.size();
+  st.peak_size = peak_size_;
+  st.pinned = pin_count_;
+  return st;
 }
 
 std::uint64_t PlanCache::hits() const {
@@ -67,6 +162,14 @@ std::uint64_t PlanCache::misses() const {
 std::size_t PlanCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return plans_.size();
+}
+
+std::vector<PlanKey> PlanCache::resident_keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PlanKey> keys;
+  keys.reserve(lru_.size());
+  for (const auto& k : lru_) keys.push_back(k);
+  return keys;
 }
 
 }  // namespace gespmm::serve

@@ -1,7 +1,7 @@
 #pragma once
 /// \file plan_cache.hpp
-/// Thread-safe cache of execution plans keyed by (graph fingerprint,
-/// device, dense width, reduction).
+/// Thread-safe, bounded cache of execution plans keyed by (graph
+/// fingerprint, device, dense width, reduction).
 ///
 /// A *plan* is the outcome of algorithm selection for one SpMM shape: the
 /// kernel to run and its modelled device time. Building one costs a
@@ -10,11 +10,21 @@
 /// request — the plan-reuse argument of GE-SpMM's repeated-SpMM GNN
 /// setting. Entries are immutable once built, so readers share them
 /// lock-free via shared_ptr.
+///
+/// The cache is bounded for long-lived daemons: at most
+/// `PlanCacheOptions::max_entries` plans are resident at any observation
+/// point, with least-recently-used eviction on insert. Plans *pinned* by
+/// in-flight batches (see PlanLease) are never evicted; if the budget is
+/// full of pinned plans, a newly built plan is handed back uncached
+/// rather than breaching the budget. `stats().peak_size` records the
+/// high-water resident count so tests can assert the budget invariant.
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "core/autotune.hpp"
 #include "serve/fingerprint.hpp"
@@ -52,7 +62,7 @@ struct CachedPlan {
   double gain_over_default = 1.0;
 };
 
-/// How plans are built on a cache miss.
+/// How plans are built and retained.
 struct PlanCacheOptions {
   /// Run the CF autotuner (sum reductions only) instead of the fixed rule.
   bool autotune = true;
@@ -65,33 +75,133 @@ struct PlanCacheOptions {
   /// bucket and the quantized modelled time is a (<= 31 columns) upper
   /// bound of the exact one. Set 1 for exact-width keys.
   index_t width_quantum = 32;
+  /// Entry budget: most plans resident at once (0 = unbounded). On
+  /// insert beyond the budget the least-recently-used unpinned plan is
+  /// evicted; when every resident plan is pinned, the new plan is
+  /// returned uncached instead.
+  std::size_t max_entries = 128;
 };
 
-/// Thread-safe lookup-or-build plan store with hit/miss accounting.
+/// Cache counters; `size`/`pinned` are the current residency snapshot,
+/// `peak_size` the high-water mark (the budget-invariant observation
+/// hook: it never exceeds `max_entries` when the cache is bounded).
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+  /// Builds handed back uncached because the budget was full of pinned
+  /// plans.
+  std::uint64_t uncached_builds = 0;
+  std::size_t size = 0;
+  std::size_t peak_size = 0;
+  /// Outstanding pins (PlanLease objects alive on resident plans).
+  std::size_t pinned = 0;
+};
+
+class PlanCache;
+
+/// Move-only RAII pin on a plan returned by PlanCache::acquire. While a
+/// lease is alive its plan cannot be evicted, so an executing batch keeps
+/// its plan resident for concurrent requests to hit. Destruction (or
+/// release()) unpins; the shared_ptr keeps the plan itself valid either
+/// way.
+class PlanLease {
+ public:
+  PlanLease() = default;
+  PlanLease(PlanLease&& o) noexcept { *this = std::move(o); }
+  PlanLease& operator=(PlanLease&& o) noexcept;
+  PlanLease(const PlanLease&) = delete;
+  PlanLease& operator=(const PlanLease&) = delete;
+  ~PlanLease() { release(); }
+
+  const CachedPlan& operator*() const { return *plan_; }
+  const CachedPlan* operator->() const { return plan_.get(); }
+  std::shared_ptr<const CachedPlan> plan() const { return plan_; }
+
+  bool valid() const { return plan_ != nullptr; }
+  /// Whether the plan was already resident when acquired.
+  bool hit() const { return hit_; }
+  /// False when the plan was built but not inserted (budget full of
+  /// pinned plans) — the plan is still valid and correct, just unshared.
+  bool cached() const { return cache_ != nullptr; }
+
+  /// Drop the pin early (idempotent).
+  void release();
+
+ private:
+  friend class PlanCache;
+  PlanLease(std::shared_ptr<const CachedPlan> plan, PlanCache* cache,
+            PlanKey key, bool hit)
+      : plan_(std::move(plan)), cache_(cache), key_(std::move(key)), hit_(hit) {}
+
+  std::shared_ptr<const CachedPlan> plan_;
+  PlanCache* cache_ = nullptr;
+  PlanKey key_;
+  bool hit_ = false;
+};
+
+/// Thread-safe lookup-or-build plan store with LRU eviction, pinning and
+/// hit/miss/eviction accounting.
 class PlanCache {
  public:
   explicit PlanCache(PlanCacheOptions opt = {}) : opt_(opt) {}
 
-  /// Return the plan for `key` (its width quantized per `width_quantum`),
-  /// building it from `a` on `device` if absent. `was_hit` (optional)
-  /// reports whether the plan was already cached. Concurrent misses on the
-  /// same key both build (deterministically identical) plans; the first
-  /// insert wins.
+  /// Return a pinned lease on the plan for `key` (its width quantized per
+  /// `width_quantum`), building it from `a` on `device` if absent.
+  /// Concurrent misses on the same key both build (deterministically
+  /// identical) plans; the first insert wins. Hold the lease for the
+  /// duration of the batch that uses the plan.
+  PlanLease acquire(const PlanKey& key, const Csr& a,
+                    const gpusim::DeviceSpec& device);
+
+  /// Unpinned convenience wrapper around acquire(): returns the plan and
+  /// (optionally) whether it was already cached.
   std::shared_ptr<const CachedPlan> lookup_or_build(
       const PlanKey& key, const Csr& a, const gpusim::DeviceSpec& device,
       bool* was_hit = nullptr);
+
+  /// Full counter snapshot (consistent: taken under one lock).
+  PlanCacheStats stats() const;
 
   /// Cache hits / misses / resident plans since construction.
   std::uint64_t hits() const;
   std::uint64_t misses() const;
   std::size_t size() const;
 
+  /// Resident keys in eviction order (least recently used first) — the
+  /// observation hook the LRU-order goldens assert on. Keys carry the
+  /// quantized width.
+  std::vector<PlanKey> resident_keys() const;
+
  private:
+  friend class PlanLease;
+
+  struct Entry {
+    std::shared_ptr<const CachedPlan> plan;
+    std::size_t pins = 0;
+    std::list<PlanKey>::iterator lru_it;
+  };
+
+  PlanKey quantized(const PlanKey& key) const;
+  std::shared_ptr<CachedPlan> build(const PlanKey& key, const Csr& a,
+                                    const gpusim::DeviceSpec& device) const;
+  /// Move `e` to the most-recently-used end (call under mu_).
+  void touch(Entry& e);
+  void unpin(const PlanKey& key);
+
   PlanCacheOptions opt_;
   mutable std::mutex mu_;
-  std::map<PlanKey, std::shared_ptr<const CachedPlan>> plans_;
+  std::map<PlanKey, Entry> plans_;
+  /// Front = least recently used, back = most recently used.
+  std::list<PlanKey> lru_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t inserts_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t uncached_builds_ = 0;
+  std::size_t peak_size_ = 0;
+  std::size_t pin_count_ = 0;
 };
 
 }  // namespace gespmm::serve

@@ -1,0 +1,182 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gespmm::serve {
+
+const char* schedule_policy_name(SchedulePolicy p) {
+  switch (p) {
+    case SchedulePolicy::Fifo: return "fifo";
+    case SchedulePolicy::DeficitRoundRobin: return "drr";
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(SchedulerOptions opt, BatchConstraints limits)
+    : opt_(opt), limits_(limits) {
+  if (opt_.quantum < 1) {
+    throw std::invalid_argument("Scheduler: quantum must be at least 1");
+  }
+  if (limits_.max_batch_requests < 1) {
+    throw std::invalid_argument("Scheduler: max_batch_requests must be at least 1");
+  }
+}
+
+void Scheduler::enqueue(const SchedRequest& r) {
+  auto [it, created] = queues_.try_emplace(r.graph);
+  GraphQueue& gq = it->second;
+  if (created) {
+    gq.stats.graph = r.graph;
+    seen_order_.push_back(r.graph);
+  }
+  if (gq.pending == 0) ring_.push_back(r.graph);
+  // Under Fifo every request lands in one class so the global pick stays
+  // priority-blind (the v1 baseline); under DRR classes are separate
+  // queues, interactive first.
+  const std::size_t cls = opt_.policy == SchedulePolicy::Fifo
+                              ? 0
+                              : static_cast<std::size_t>(r.priority);
+  gq.q[cls].push_back(Item{r.seq, r.n, r.reduce});
+  ++gq.pending;
+  ++gq.stats.enqueued;
+  ++pending_;
+}
+
+const Scheduler::Item& Scheduler::head_of(const GraphQueue& gq) const {
+  for (const auto& dq : gq.q) {
+    if (!dq.empty()) return dq.front();
+  }
+  throw std::logic_error("Scheduler: head_of on empty graph queue");
+}
+
+std::vector<std::uint64_t> Scheduler::serve_from(GraphQueue& gq, index_t allowed,
+                                                 index_t* total_width) {
+  // Anchor = head in (priority, seq) order; later same-reduce requests
+  // join while the summed width stays within `allowed` and the count
+  // within max_batch_requests. Mismatched requests are skipped, never
+  // blocking a compatible one behind them.
+  struct Pick {
+    std::size_t cls;
+    std::size_t idx;
+  };
+  std::vector<Pick> picks;
+  std::vector<std::uint64_t> seqs;
+  const Item* anchor = nullptr;
+  index_t total = 0;
+  for (std::size_t cls = 0; cls < kNumPriorities; ++cls) {
+    const auto& dq = gq.q[cls];
+    for (std::size_t i = 0; i < dq.size(); ++i) {
+      if (picks.size() >= limits_.max_batch_requests) break;
+      const Item& item = dq[i];
+      if (anchor == nullptr) {
+        anchor = &item;
+        picks.push_back({cls, i});
+        seqs.push_back(item.seq);
+        total = item.n;
+        continue;
+      }
+      if (item.reduce != anchor->reduce) continue;
+      if (total > allowed - item.n) continue;
+      picks.push_back({cls, i});
+      seqs.push_back(item.seq);
+      total += item.n;
+    }
+  }
+  // Erase back-to-front so earlier indices stay valid (picks are in
+  // ascending (cls, idx) order).
+  for (auto it = picks.rbegin(); it != picks.rend(); ++it) {
+    auto& dq = gq.q[it->cls];
+    dq.erase(dq.begin() + static_cast<std::ptrdiff_t>(it->idx));
+  }
+  gq.pending -= picks.size();
+  pending_ -= picks.size();
+  gq.stats.served += picks.size();
+  gq.stats.batches += 1;
+  gq.stats.served_width += static_cast<std::uint64_t>(total);
+  *total_width = total;
+  return seqs;
+}
+
+void Scheduler::deactivate(std::uint64_t graph) {
+  const auto it = std::find(ring_.begin(), ring_.end(), graph);
+  const auto idx = static_cast<std::size_t>(it - ring_.begin());
+  ring_.erase(it);
+  if (idx < cursor_) --cursor_;
+  if (cursor_ >= ring_.size()) cursor_ = 0;
+}
+
+index_t Scheduler::deficit_cap(index_t head_n) const {
+  const index_t cap = opt_.max_deficit > 0 ? opt_.max_deficit : 4 * opt_.quantum;
+  return std::max(cap, head_n);
+}
+
+std::vector<std::uint64_t> Scheduler::next_batch_fifo() {
+  // The oldest pending request anchors, wherever it lives.
+  std::uint64_t best_graph = 0;
+  std::uint64_t best_seq = 0;
+  bool found = false;
+  for (const std::uint64_t g : ring_) {
+    const std::uint64_t s = queues_.at(g).q[0].front().seq;
+    if (!found || s < best_seq) {
+      best_graph = g;
+      best_seq = s;
+      found = true;
+    }
+  }
+  GraphQueue& gq = queues_.at(best_graph);
+  const index_t head_n = head_of(gq).n;
+  index_t total = 0;
+  auto seqs = serve_from(gq, std::max(limits_.max_batch_n, head_n), &total);
+  if (gq.pending == 0) deactivate(best_graph);
+  return seqs;
+}
+
+std::vector<std::uint64_t> Scheduler::next_batch_drr() {
+  for (;;) {
+    if (cursor_ >= ring_.size()) cursor_ = 0;
+    const std::uint64_t graph = ring_[cursor_];
+    GraphQueue& gq = queues_.at(graph);
+    const Item& head = head_of(gq);
+    gq.deficit = std::min(gq.deficit + opt_.quantum, deficit_cap(head.n));
+    if (gq.deficit < head.n) {
+      // Not enough credit yet; the next rotation adds another quantum,
+      // so this head ships after at most ceil(n / quantum) rotations.
+      ++gq.stats.deferred;
+      ++cursor_;
+      continue;
+    }
+    index_t allowed = std::min(gq.deficit, limits_.max_batch_n);
+    allowed = std::max(allowed, head.n);
+    index_t total = 0;
+    auto seqs = serve_from(gq, allowed, &total);
+    gq.deficit = std::max<index_t>(gq.deficit - total, 0);
+    if (gq.pending == 0) {
+      gq.deficit = 0;  // credit does not survive idleness
+      deactivate(graph);
+    } else {
+      ++cursor_;  // one batch per visit, then move on
+    }
+    return seqs;
+  }
+}
+
+std::vector<std::uint64_t> Scheduler::next_batch() {
+  if (pending_ == 0) return {};
+  return opt_.policy == SchedulePolicy::Fifo ? next_batch_fifo()
+                                             : next_batch_drr();
+}
+
+std::vector<GraphServeStats> Scheduler::stats() const {
+  std::vector<GraphServeStats> out;
+  out.reserve(seen_order_.size());
+  for (const std::uint64_t g : seen_order_) {
+    const GraphQueue& gq = queues_.at(g);
+    GraphServeStats st = gq.stats;
+    st.pending = gq.pending;
+    out.push_back(st);
+  }
+  return out;
+}
+
+}  // namespace gespmm::serve

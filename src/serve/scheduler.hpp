@@ -1,0 +1,154 @@
+#pragma once
+/// \file scheduler.hpp
+/// Cross-graph request scheduling: which graph's queue supplies the next
+/// batch, and which requests ride in it.
+///
+/// The v1 engine formed batches from one global FIFO: correct, but a hot
+/// graph that floods the queue monopolizes the workers — every cold
+/// graph's requests wait behind the entire hot backlog (cross-tenant
+/// head-of-line blocking). The v2 scheduler keeps one queue *per
+/// registered graph* and picks the next batch by deficit round-robin
+/// (DRR, Shreedhar & Varghese): each visit grants the graph `quantum`
+/// columns of width credit, and a graph ships a batch only while its
+/// credit covers the batch's summed width. Over any backlogged window
+/// every graph therefore serves within one request width of `quantum`
+/// columns per rotation, and starvation is impossible by construction —
+/// a waiting graph's deficit grows every rotation until its head request
+/// fits, however wide it is.
+///
+/// Within one graph's queue, requests order by (priority, admission
+/// seq): interactive before batch before best-effort, FIFO inside a
+/// class. Batches still only coalesce same-reduce requests (column
+/// independence requires one semiring per kernel launch); incompatible
+/// requests are skipped, not blocked, exactly like the v1 policy in
+/// batch.hpp.
+///
+/// All state is explicit (seq numbers, deficits, a rotation cursor) and
+/// no decision reads the clock, so a fixed enqueue order yields one
+/// exact batch sequence — the property the fairness goldens and the
+/// stress test's serial replay pin down. The scheduler is single-
+/// threaded by design; the engine guards it with its queue lock.
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "serve/admission.hpp"
+#include "serve/batch.hpp"
+
+namespace gespmm::serve {
+
+/// Which policy picks the next batch.
+enum class SchedulePolicy {
+  /// v1 behavior: the oldest pending request (by admission seq,
+  /// priority-blind) anchors the batch. Kept as the baseline policy the
+  /// fairness bench compares against.
+  Fifo,
+  /// Deficit round-robin across per-graph queues (the default).
+  DeficitRoundRobin,
+};
+
+/// "fifo" / "drr".
+const char* schedule_policy_name(SchedulePolicy p);
+
+/// Scheduler knobs.
+struct SchedulerOptions {
+  SchedulePolicy policy = SchedulePolicy::DeficitRoundRobin;
+  /// Width credit (output columns) granted per DRR visit. At the default
+  /// it matches BatchConstraints::max_batch_n, so a backlogged graph
+  /// ships one full-width batch per rotation.
+  index_t quantum = 256;
+  /// Cap on accumulated credit, bounding the burst an idle-then-busy
+  /// graph can ship at once. 0 = auto (4x quantum). The cap never blocks
+  /// a head request wider than itself: credit may always grow until the
+  /// head fits.
+  index_t max_deficit = 0;
+};
+
+/// The scheduling-relevant shape of one admitted request.
+struct SchedRequest {
+  /// Admission sequence number (engine-assigned, strictly increasing).
+  std::uint64_t seq = 0;
+  /// GraphFingerprint::key() of the registered operand.
+  std::uint64_t graph = 0;
+  /// Width of the request's feature matrix.
+  index_t n = 0;
+  ReduceKind reduce = ReduceKind::Sum;
+  Priority priority = Priority::Interactive;
+};
+
+/// Per-graph scheduling counters.
+struct GraphServeStats {
+  std::uint64_t graph = 0;
+  std::uint64_t enqueued = 0;
+  /// Requests shipped in batches.
+  std::uint64_t served = 0;
+  std::uint64_t batches = 0;
+  /// DRR visits where the graph had pending work but its deficit did not
+  /// yet cover the head request (always 0 under Fifo).
+  std::uint64_t deferred = 0;
+  /// Summed width of served requests — the DRR fairness currency.
+  std::uint64_t served_width = 0;
+  /// Requests currently pending (snapshot).
+  std::uint64_t pending = 0;
+};
+
+/// Deterministic cross-graph batch scheduler. Not thread-safe.
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions opt = {}, BatchConstraints limits = {});
+
+  /// Add an admitted request. `seq` values must be distinct and
+  /// increasing across calls (the engine's admission counter).
+  void enqueue(const SchedRequest& r);
+
+  /// Requests admitted but not yet shipped.
+  std::size_t pending() const { return pending_; }
+  bool empty() const { return pending_ == 0; }
+
+  /// Pop the next batch: admission seqs of same-(graph, reduce) requests,
+  /// in (priority, seq) order. Empty only when nothing is pending.
+  std::vector<std::uint64_t> next_batch();
+
+  /// Counters for every graph ever enqueued, in first-seen order.
+  std::vector<GraphServeStats> stats() const;
+
+  const SchedulerOptions& options() const { return opt_; }
+
+ private:
+  struct Item {
+    std::uint64_t seq = 0;
+    index_t n = 0;
+    ReduceKind reduce = ReduceKind::Sum;
+  };
+  struct GraphQueue {
+    std::array<std::deque<Item>, kNumPriorities> q;
+    index_t deficit = 0;
+    std::size_t pending = 0;
+    GraphServeStats stats;
+  };
+
+  const Item& head_of(const GraphQueue& gq) const;
+  /// Form, remove and account one batch from `gq`, coalescing up to
+  /// `allowed` summed width; returns the seqs and sets `total_width`.
+  std::vector<std::uint64_t> serve_from(GraphQueue& gq, index_t allowed,
+                                        index_t* total_width);
+  void deactivate(std::uint64_t graph);
+  std::vector<std::uint64_t> next_batch_fifo();
+  std::vector<std::uint64_t> next_batch_drr();
+  index_t deficit_cap(index_t head_n) const;
+
+  SchedulerOptions opt_;
+  BatchConstraints limits_;
+  std::map<std::uint64_t, GraphQueue> queues_;
+  /// Graphs in first-enqueue order (stats order).
+  std::vector<std::uint64_t> seen_order_;
+  /// Graphs with pending work, in activation order (the DRR ring).
+  std::vector<std::uint64_t> ring_;
+  std::size_t cursor_ = 0;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace gespmm::serve

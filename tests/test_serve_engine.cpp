@@ -195,6 +195,46 @@ TEST(ServeEngine, PlanCacheHitsOnRepeatedShape) {
   EXPECT_EQ(st.plan_cache_hits, 2u);
 }
 
+TEST(ServeEngine, PlanCacheWidthBucketBoundaries) {
+  // Pin the width-bucket edges of plan quantization (width_quantum = 32):
+  // N = 31 and 32 share the 32-wide bucket, 33 and 64 the 64-wide bucket,
+  // 65 opens the 96-wide bucket. Submit-wait so every batch carries one
+  // request and the plan width equals the request width.
+  Engine eng(deterministic_opts());
+  eng.start();
+  const Csr a = sparse::uniform_random(256, 256, 2048, 915);
+  const GraphId id = eng.register_graph(a);
+
+  std::vector<Ticket> tickets;  // keep tickets alive: they own the results
+  auto run = [&](index_t n) -> const serve::RequestResult& {
+    tickets.push_back(eng.submit(id, features(a.cols, n, 916)));
+    return tickets.back().wait();
+  };
+  const auto& r31 = run(31);
+  EXPECT_FALSE(r31.plan_cache_hit);  // opens bucket 32
+  const auto& r32 = run(32);
+  EXPECT_TRUE(r32.plan_cache_hit);  // 32 is the last width in bucket 32
+  // Both priced at the bucket width, so their modelled shares are equal.
+  EXPECT_DOUBLE_EQ(r31.modelled_ms, r32.modelled_ms);
+  const auto& r33 = run(33);
+  EXPECT_FALSE(r33.plan_cache_hit);  // 33 crosses into bucket 64
+  const auto& r64 = run(64);
+  EXPECT_TRUE(r64.plan_cache_hit);
+  EXPECT_DOUBLE_EQ(r33.modelled_ms, r64.modelled_ms);
+  const auto& r65 = run(65);
+  EXPECT_FALSE(r65.plan_cache_hit);  // 65 opens bucket 96
+
+  const auto pc = eng.plan_cache().stats();
+  EXPECT_EQ(pc.misses, 3u);
+  EXPECT_EQ(pc.hits, 2u);
+  EXPECT_EQ(pc.size, 3u);
+  const auto keys = eng.plan_cache().resident_keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0].n, 32);  // LRU order: quantized widths, oldest first
+  EXPECT_EQ(keys[1].n, 64);
+  EXPECT_EQ(keys[2].n, 96);
+}
+
 TEST(ServeEngine, BatchingBeatsPerRequestModelledTime) {
   // The serving argument in one assertion: 8 requests of width 16 on one
   // graph, coalesced into one width-128 kernel, must model faster than
