@@ -1,0 +1,160 @@
+/// Extension bench: fused end-to-end model serving vs. layer-by-layer
+/// composition, on the Fig. 13/14-style modelled workloads.
+///
+/// Workload: GCN and GraphSAGE-GCN inference over pubmed (quick: cora
+/// with narrowed input features, like the Fig. 13 bench) at the paper's
+/// (layers, feature-width) settings. The fused path answers one
+/// `submit_model` ticket per forward pass — SpMM→GEMM fused per layer,
+/// epilogue absorbed, intermediates recycled, per-layer plans from the
+/// shared PlanCache. The composed baseline is the same pass as a client
+/// would stitch it without model serving: one engine-submitted SpMM per
+/// aggregation plus separate dense GEMM / bias / activation launches
+/// (the per-layer price the engine reports as `composed_ms`).
+///
+/// The first request of every setting is additionally *executed*
+/// layer-by-layer through `Engine::submit` + the shared host transforms
+/// and compared bitwise against the fused output — fusion must change
+/// modelled time only, never values. Engines run one worker, paused
+/// until fully enqueued, so every recorded number is deterministic.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common/registry.hpp"
+#include "serve/engine.hpp"
+#include "serve/model_plan.hpp"
+#include "sparse/datasets.hpp"
+
+using namespace gespmm;
+using bench::Table;
+
+namespace {
+
+constexpr int kRequestsPerSetting = 3;
+
+serve::ServeOptions serve_opts(const gpusim::DeviceSpec& dev,
+                               std::uint64_t sample_blocks) {
+  serve::ServeOptions sopt;
+  sopt.devices = {dev};
+  sopt.num_workers = 1;
+  sopt.start_paused = true;
+  sopt.plan.sample_blocks = sample_blocks;
+  return sopt;
+}
+
+kernels::DenseMatrix node_features(sparse::index_t rows, sparse::index_t cols,
+                                   std::uint64_t seed) {
+  kernels::DenseMatrix x(rows, cols);
+  kernels::fill_random(x, seed);
+  return x;
+}
+
+/// The composed reference: execute the plan layer by layer through
+/// Engine::submit for every aggregation and the shared host-side dense
+/// transforms for everything else. Returns the logits.
+kernels::DenseMatrix composed_forward(serve::Engine& eng, serve::GraphId gid,
+                                      const serve::RegisteredModel& m,
+                                      const kernels::DenseMatrix& x) {
+  kernels::DenseMatrix h = x;
+  for (std::size_t l = 0; l < m.plan.layers.size(); ++l) {
+    const serve::LayerStep& s = m.plan.layers[l];
+    const kernels::DenseMatrix& w = m.spec.weights[l];
+    const kernels::DenseMatrix& b = m.spec.bias[l];
+    if (s.transform_first) {
+      kernels::DenseMatrix t(h.rows(), s.out_width);
+      serve::gemm(h, w, t);
+      const serve::Ticket tk = eng.submit(gid, std::move(t), s.reduce);
+      kernels::DenseMatrix z = tk.wait().c;
+      serve::bias_act(z, b, s.relu);
+      h = std::move(z);
+    } else {
+      const serve::Ticket tk = eng.submit(gid, kernels::DenseMatrix(h), s.reduce);
+      kernels::DenseMatrix out(h.rows(), s.out_width);
+      serve::dense_transform(tk.wait().c, w, b, s.relu, out);
+      h = std::move(out);
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+GESPMM_BENCH(serve_model) {
+  const auto& opt = ctx.opt;
+  const auto data = opt.quick ? sparse::cora() : sparse::pubmed();
+  const sparse::index_t in_feats = opt.quick ? 32 : data.feature_dim;
+  struct Setting {
+    int layers;
+    sparse::index_t feats;
+  };
+  const std::vector<Setting> settings =
+      opt.quick ? std::vector<Setting>{{2, 16}}
+                : std::vector<Setting>{{2, 16}, {2, 64}};
+  const struct {
+    serve::ServedModelKind kind;
+    const char* label;
+  } kinds[] = {
+      {serve::ServedModelKind::Gcn, "GCN"},
+      {serve::ServedModelKind::SageGcn, "GraphSAGE-GCN"},
+  };
+
+  for (const auto& dev : opt.devices) {
+    for (const auto& k : kinds) {
+      bench::banner(std::string("Model serving: fused vs composed, ") +
+                    k.label + " on " + data.name + " (device " + dev.name +
+                    ", " + std::to_string(kRequestsPerSetting) +
+                    " passes per setting)");
+      Table table({"(layers, feats)", "composed (ms)", "fused (ms)", "speedup",
+                   "cache h/m", "bitwise"});
+      for (const Setting& s : settings) {
+        serve::Engine eng(serve_opts(dev, opt.sample_blocks));
+        const serve::GraphId gid = eng.register_graph(data.adj);
+        const serve::ModelId mid = eng.register_model(
+            gid, serve::make_model_spec(k.kind, in_feats, s.feats,
+                                        data.num_classes, s.layers));
+        std::vector<serve::Ticket> tickets;
+        for (int r = 0; r < kRequestsPerSetting; ++r) {
+          tickets.push_back(eng.submit_model(
+              mid, node_features(data.adj.rows, in_feats,
+                                 9000 + static_cast<std::uint64_t>(r))));
+        }
+        eng.start();
+        double fused_ms = 0.0;
+        double composed_ms = 0.0;
+        for (const auto& t : tickets) {
+          fused_ms += t.wait().modelled_ms;
+          composed_ms += t.wait().composed_ms;
+        }
+        // Execute the first pass the composed way and hold fusion to the
+        // bitwise-identity contract.
+        const auto model = eng.model(mid);
+        const kernels::DenseMatrix ref = composed_forward(
+            eng, gid, *model, node_features(data.adj.rows, in_feats, 9000));
+        const bool bitwise = tickets.front().wait().c.max_abs_diff(ref) == 0.0;
+        const auto cache = eng.plan_cache().stats();
+        eng.shutdown();
+
+        const double speedup = fused_ms > 0.0 ? composed_ms / fused_ms : 0.0;
+        const std::string setting = "(" + std::to_string(s.layers) + ", " +
+                                    std::to_string(s.feats) + ")";
+        table.add_row({setting, Table::fmt(composed_ms, 3),
+                       Table::fmt(fused_ms, 3), Table::fmt(speedup),
+                       std::to_string(cache.hits) + "/" +
+                           std::to_string(cache.misses),
+                       bitwise ? "OK" : "FAIL"});
+        if (!bitwise) {
+          std::printf("ERROR: fused output diverged from composed output "
+                      "(%s, %s, %s)\n",
+                      dev.name.c_str(), k.label, setting.c_str());
+        }
+        const std::string matrix = data.name + "-" +
+            serve::served_model_kind_name(k.kind) + "-l" +
+            std::to_string(s.layers);
+        ctx.record(dev.name, matrix, "composed", s.feats, composed_ms);
+        ctx.record(dev.name, matrix, "fused-model", s.feats, fused_ms, speedup);
+      }
+      table.print();
+    }
+  }
+}

@@ -8,9 +8,23 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc)}"
 
-cmake -B "$BUILD_DIR" -S . "$@"
+# SANITIZE=1 flips the build to ASan+UBSan (see GESPMM_SANITIZE in the
+# top-level CMakeLists); pair it with a separate BUILD_DIR so the
+# instrumented and plain object files never mix. CTEST_LABEL narrows the
+# test run to one ctest label (e.g. serve, stress) for sharded jobs.
+EXTRA_CMAKE_ARGS=()
+if [[ "${SANITIZE:-0}" == "1" ]]; then
+  EXTRA_CMAKE_ARGS+=(-DGESPMM_SANITIZE=ON)
+fi
+CTEST_ARGS=()
+if [[ -n "${CTEST_LABEL:-}" ]]; then
+  CTEST_ARGS+=(-L "$CTEST_LABEL")
+fi
+
+cmake -B "$BUILD_DIR" -S . "${EXTRA_CMAKE_ARGS[@]}" "$@"
 cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --no-tests=error --output-on-failure -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --no-tests=error --output-on-failure -j "$JOBS" \
+  "${CTEST_ARGS[@]}"
 
 # Documentation gate: intra-repo markdown links must resolve. On by
 # default for local runs; the workflow's build jobs set RUN_DOCS_GATE=0

@@ -77,6 +77,41 @@ std::shared_ptr<const Csr> Engine::graph(GraphId id) const {
   return it->second;
 }
 
+ModelId Engine::register_model(GraphId graph, ModelSpec spec) {
+  std::shared_ptr<const Csr> g;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = graphs_.find(graph.key);
+    if (it == graphs_.end()) {
+      throw std::invalid_argument("Engine::register_model: unknown graph handle");
+    }
+    g = it->second;
+  }
+  // Compile (and content-hash the parameters) outside the lock; graphs
+  // are never unregistered, so the handle stays valid.
+  ModelPlan plan = compile_model(graph.key, *g, spec);
+  const std::uint64_t key = plan.key;
+  auto model = std::make_shared<const RegisteredModel>(
+      RegisteredModel{std::move(plan), std::move(spec), std::move(g)});
+  std::lock_guard<std::mutex> lock(mu_);
+  if (models_.contains(key)) {
+    ++stats_.model_register_dedup_hits;
+  } else {
+    models_.emplace(key, std::move(model));
+    ++stats_.models_registered;
+  }
+  return ModelId{key};
+}
+
+std::shared_ptr<const RegisteredModel> Engine::model(ModelId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(id.key);
+  if (it == models_.end()) {
+    throw std::invalid_argument("Engine::model: unknown model handle");
+  }
+  return it->second;
+}
+
 Ticket Engine::submit(GraphId id, DenseMatrix b, ReduceKind reduce,
                       Priority priority) {
   auto state = std::make_shared<detail::RequestState>();
@@ -124,6 +159,76 @@ Ticket Engine::submit(GraphId id, DenseMatrix b, ReduceKind reduce,
     // ticket.
     state->b = DenseMatrix();
     state->graph.reset();
+    RequestResult res;
+    res.status = RequestStatus::Shed;
+    res.shed_reason = reason;
+    res.priority = priority;
+    res.batch_size = 0;
+    state->fulfill(std::move(res));
+    return Ticket(state);
+  }
+  cv_.notify_one();
+  return Ticket(state);
+}
+
+Ticket Engine::submit_model(ModelId id, DenseMatrix features,
+                            Priority priority) {
+  auto state = std::make_shared<detail::RequestState>();
+  state->priority = priority;
+  bool shed = false;
+  ShedReason reason = ShedReason::None;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      throw std::runtime_error("Engine::submit_model: engine is shut down");
+    }
+    auto it = models_.find(id.key);
+    if (it == models_.end()) {
+      throw std::invalid_argument("Engine::submit_model: unknown model handle");
+    }
+    const std::shared_ptr<const RegisteredModel>& m = it->second;
+    if (features.rows() != m->plan.num_nodes) {
+      throw std::invalid_argument(
+          "Engine::submit_model: features must have one row per graph node");
+    }
+    if (features.cols() != m->plan.in_feats) {
+      throw std::invalid_argument(
+          "Engine::submit_model: feature width must match the model's input "
+          "width");
+    }
+    if (features.layout() != kernels::Layout::RowMajor) {
+      throw std::invalid_argument(
+          "Engine::submit_model: features must be row-major");
+    }
+    state->model = m;
+    state->graph = m->graph;
+    state->graph_key = m->plan.graph_key;
+    state->reduce = m->spec.reduce;
+    state->b = std::move(features);
+    const AdmissionDecision d = admission_.admit(priority, scheduler_.pending());
+    if (!d.admitted) {
+      shed = true;
+      reason = d.reason;
+      ++stats_.shed;
+    } else {
+      state->seq = next_seq_++;
+      // One ticket covers the whole forward pass; the model's summed
+      // per-layer SpMM width is what the pass costs the graph's DRR
+      // budget, so model and plain traffic compete on equal (width) terms.
+      scheduler_.enqueue({state->seq, state->graph_key,
+                          state->model->plan.total_spmm_width, state->reduce,
+                          priority, /*model=*/true});
+      pending_states_.emplace(state->seq, state);
+      ++stats_.submitted;
+      ++stats_.model_requests;
+    }
+  }
+  if (shed) {
+    // Same ticket contract as submit: complete immediately, drop the
+    // payload so shedding bounds memory.
+    state->b = DenseMatrix();
+    state->graph.reset();
+    state->model.reset();
     RequestResult res;
     res.status = RequestStatus::Shed;
     res.shed_reason = reason;
@@ -184,7 +289,12 @@ void Engine::worker_loop() {
       }
       device_index = next_device_++ % opt_.devices.size();
     }
-    execute_batch(std::move(batch), device_index);
+    if (batch.front()->model != nullptr) {
+      // The scheduler ships model requests as singleton batches.
+      execute_model(std::move(batch.front()), device_index);
+    } else {
+      execute_batch(std::move(batch), device_index);
+    }
   }
 }
 
@@ -268,6 +378,78 @@ void Engine::execute_batch(std::vector<std::shared_ptr<detail::RequestState>> ba
     res.batch_size = static_cast<int>(batch.size());
     r->fulfill(std::move(res));
   }
+}
+
+void Engine::execute_model(std::shared_ptr<detail::RequestState> state,
+                           std::size_t device_index) {
+  const gpusim::DeviceSpec& dev = opt_.devices[device_index];
+  const RegisteredModel& m = *state->model;
+  const Csr& a = *state->graph;
+  const gnn::DeviceCost cost(dev);
+
+  // One arena per pass: hidden layers share widths, so after the first
+  // layer every intermediate comes out of the pool instead of a fresh
+  // allocation (ModelPlan::max_width bounds each slot).
+  ModelArena arena;
+  DenseMatrix h = std::move(state->b);
+  double fused_ms = 0.0;
+  double composed_ms = 0.0;
+  std::uint64_t layer_hits = 0;
+  std::uint64_t layer_misses = 0;
+  SpmmAlgo algo = SpmmAlgo::GeSpMM;
+  for (std::size_t l = 0; l < m.plan.layers.size(); ++l) {
+    const LayerStep& s = m.plan.layers[l];
+    // Per-layer plan reuse: the aggregation keys into the same PlanCache
+    // as plain SpMM traffic, so layers of one model, repeated passes and
+    // standalone requests at the same (graph, width, reduce) all share
+    // one autotuned plan. The lease pins it for the layer's duration.
+    const PlanKey key{m.plan.graph_key, dev.name, s.spmm_width, s.reduce};
+    const PlanLease lease = plan_cache_.acquire(key, a, dev);
+    (lease.hit() ? layer_hits : layer_misses) += 1;
+    algo = lease->algo;
+    const LayerCost lc = price_layer(s, a.rows, lease->modelled_ms, cost);
+    fused_ms += lc.fused_ms;
+    composed_ms += lc.composed_ms;
+
+    DenseMatrix out = arena.take(a.rows, s.out_width);
+    run_layer(a, s, h, m.spec.weights[l], m.spec.bias[l], out, arena);
+    arena.put(std::move(h));
+    h = std::move(out);
+  }
+
+  // Account before fulfilling, like execute_batch: the device's clock
+  // advances by the *fused* pass time — that is what serving pays.
+  double completed_at = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DeviceServeStats& ds = stats_.devices[device_index];
+    ds.requests += 1;
+    ds.batches += 1;
+    ds.modelled_ms += fused_ms;
+    completed_at = ds.modelled_ms;
+    ds.plan_cache_hits += layer_hits;
+    ds.plan_cache_misses += layer_misses;
+    stats_.completed += 1;
+    stats_.batches += 1;
+    stats_.plan_cache_hits += layer_hits;
+    stats_.plan_cache_misses += layer_misses;
+    stats_.modelled_ms += fused_ms;
+    stats_.fused_saved_ms += composed_ms - fused_ms;
+  }
+
+  RequestResult res;
+  res.status = RequestStatus::Ok;
+  res.priority = state->priority;
+  res.c = std::move(h);
+  res.algo = algo;
+  res.device = dev.name;
+  res.modelled_ms = fused_ms;
+  res.composed_ms = composed_ms;
+  res.completed_at_ms = completed_at;
+  res.plan_cache_hit = layer_misses == 0;
+  res.batch_size = 1;
+  res.model_layers = static_cast<int>(m.plan.layers.size());
+  state->fulfill(std::move(res));
 }
 
 }  // namespace gespmm::serve

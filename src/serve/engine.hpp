@@ -23,6 +23,17 @@
 ///     block-sampled modelled time;
 ///  5. `Ticket::wait` blocks for the request's `RequestResult`.
 ///
+/// Model serving (`register_model` / `submit_model`) promotes the unit of
+/// service from one SpMM to one forward pass: a registered model compiles
+/// to a `ModelPlan` (see model_plan.hpp) and a single ticket runs every
+/// layer as a fused SpMM→GEMM chain — per-layer plans come from the same
+/// `PlanCache` (shared across layers, models and plain SpMM traffic),
+/// intermediates recycle through a `ModelArena`, and the scheduler prices
+/// the ticket at the model's total SpMM width. Model requests never
+/// coalesce with other requests; output values are bitwise identical to
+/// composing per-layer `submit` calls with the host-side dense
+/// transforms, only the modelled time differs (the fusion win).
+///
 /// Ticket contract for shed requests: `wait()` NEVER throws and never
 /// blocks — it returns a `RequestResult` with `status ==
 /// RequestStatus::Shed`, the shedding `ShedReason`, and an empty (0 x 0)
@@ -46,6 +57,7 @@
 #include "serve/admission.hpp"
 #include "serve/batch.hpp"
 #include "serve/fingerprint.hpp"
+#include "serve/model_plan.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/scheduler.hpp"
 
@@ -81,6 +93,22 @@ struct ServeOptions {
 struct GraphId {
   /// GraphFingerprint::key() of the operand.
   std::uint64_t key = 0;
+};
+
+/// Handle to a registered model; cheap to copy, valid for the engine's
+/// lifetime.
+struct ModelId {
+  /// ModelPlan::key — content fingerprint over (graph, kind, parameters).
+  std::uint64_t key = 0;
+};
+
+/// A registered model: its compiled plan, its parameters, and the graph
+/// it aggregates over. Immutable once registered; shared between the
+/// registry, in-flight requests and introspecting callers.
+struct RegisteredModel {
+  ModelPlan plan;
+  ModelSpec spec;
+  std::shared_ptr<const Csr> graph;
 };
 
 /// How a request finished.
@@ -121,6 +149,15 @@ struct RequestResult {
   /// Number of requests coalesced into the batch (1 = ran alone; 0 for a
   /// shed request).
   int batch_size = 1;
+  /// For a `submit_model` ticket: layers the fused forward pass ran
+  /// (0 for a plain SpMM request). `c` is then the num_nodes x out_feats
+  /// output of the last layer and `modelled_ms` the *fused* whole-pass
+  /// time.
+  int model_layers = 0;
+  /// For a `submit_model` ticket: what the same pass would have cost as
+  /// layer-by-layer composition (separate SpMM / GEMM / epilogue
+  /// launches). Always > `modelled_ms`; 0 for plain requests.
+  double composed_ms = 0.0;
 };
 
 namespace detail {
@@ -129,6 +166,8 @@ struct RequestState {
   std::uint64_t graph_key = 0;
   std::uint64_t seq = 0;
   std::shared_ptr<const Csr> graph;
+  /// Set for whole-model requests (`b` is then the input feature matrix).
+  std::shared_ptr<const RegisteredModel> model;
   DenseMatrix b;
   ReduceKind reduce = ReduceKind::Sum;
   Priority priority = Priority::Interactive;
@@ -182,6 +221,15 @@ struct EngineStats {
   std::uint64_t graphs_registered = 0;
   /// register_graph() calls answered by an already-registered operand.
   std::uint64_t register_dedup_hits = 0;
+  std::uint64_t models_registered = 0;
+  /// register_model() calls answered by an identical registered model.
+  std::uint64_t model_register_dedup_hits = 0;
+  /// Whole-model requests admitted via submit_model (a subset of
+  /// `submitted`; each completes as one single-request batch).
+  std::uint64_t model_requests = 0;
+  /// Total modelled time fusion saved versus layer-by-layer composition
+  /// across all completed model requests (sum of composed - fused, ms).
+  double fused_saved_ms = 0.0;
   /// Requests admitted into the scheduler (shed requests are counted in
   /// `shed` / `admission`, not here).
   std::uint64_t submitted = 0;
@@ -225,6 +273,26 @@ class Engine {
   /// unknown handle.
   std::shared_ptr<const Csr> graph(GraphId id) const;
 
+  /// Compile `spec` against a registered graph into an execution plan and
+  /// store it (content-identical re-registrations dedup, like graphs).
+  /// Throws std::invalid_argument for an unknown graph handle or a spec
+  /// whose layer shapes do not chain.
+  ModelId register_model(GraphId graph, ModelSpec spec);
+
+  /// The registered model for `id` (plan + parameters + graph). Throws
+  /// std::invalid_argument for an unknown handle.
+  std::shared_ptr<const RegisteredModel> model(ModelId id) const;
+
+  /// Enqueue one whole forward pass of model `id` over `features`
+  /// (num_nodes x in_feats, row-major) — one ticket covers every layer,
+  /// executed as a fused SpMM→GEMM chain with cross-layer plan-cache and
+  /// intermediate-buffer reuse. The request flows through the same
+  /// admission control and scheduler as plain submits, costed at the
+  /// model's total SpMM width; it never coalesces with other requests.
+  /// Same exception/shed contract as `submit`.
+  Ticket submit_model(ModelId id, DenseMatrix features,
+                      Priority priority = Priority::Interactive);
+
   /// Enqueue C = A(id) (*) b at the given service class. `b` must have
   /// A.cols rows and be row-major. Throws std::invalid_argument on
   /// shape/layout mismatch or unknown handle, std::runtime_error after
@@ -254,6 +322,8 @@ class Engine {
   void worker_loop();
   void execute_batch(std::vector<std::shared_ptr<detail::RequestState>> batch,
                      std::size_t device_index);
+  void execute_model(std::shared_ptr<detail::RequestState> state,
+                     std::size_t device_index);
 
   ServeOptions opt_;
   PlanCache plan_cache_;
@@ -272,6 +342,8 @@ class Engine {
 
   // Graph registry (guarded by mu_).
   std::map<std::uint64_t, std::shared_ptr<const Csr>> graphs_;
+  // Model registry, keyed by ModelPlan::key (guarded by mu_).
+  std::map<std::uint64_t, std::shared_ptr<const RegisteredModel>> models_;
 
   // Counters (guarded by mu_).
   EngineStats stats_;

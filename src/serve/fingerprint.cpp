@@ -8,26 +8,19 @@
 
 namespace gespmm::serve {
 
-namespace {
-
-/// SplitMix64's finalizer as a streaming combiner: deterministic,
-/// implementation-independent, and already the project's mixing function
-/// of record (sparse/rng.hpp).
-std::uint64_t mix(std::uint64_t h, std::uint64_t x) {
+std::uint64_t mix64(std::uint64_t h, std::uint64_t x) {
   std::uint64_t z = h + 0x9e3779b97f4a7c15ull + x;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
   return z ^ (z >> 31);
 }
 
-}  // namespace
-
 std::uint64_t GraphFingerprint::key() const {
-  std::uint64_t h = mix(static_cast<std::uint64_t>(rows),
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(rows),
                         static_cast<std::uint64_t>(cols));
-  h = mix(h, static_cast<std::uint64_t>(nnz));
-  h = mix(h, histogram_hash);
-  return mix(h, content_hash);
+  h = mix64(h, static_cast<std::uint64_t>(nnz));
+  h = mix64(h, histogram_hash);
+  return mix64(h, content_hash);
 }
 
 std::string GraphFingerprint::str() const {
@@ -43,22 +36,25 @@ GraphFingerprint fingerprint(const Csr& a) {
   fp.cols = a.cols;
   fp.nnz = a.nnz();
 
-  // Row-length histogram over log2 buckets: bucket b counts rows with
-  // 2^(b-1) < nnz <= 2^b (bucket 0 = empty rows). 33 buckets cover every
-  // possible 32-bit row length.
+  // Row-length histogram over log2 buckets: bucket 0 counts empty rows
+  // and bucket b >= 1 counts rows with 2^(b-1) <= nnz < 2^b — i.e. bucket
+  // bit_width(len), so a power-of-two length 2^k opens bucket k+1 rather
+  // than closing bucket k. This half-open contract is the stable identity
+  // the bucket-boundary goldens in test_serve_engine.cpp pin. 33 buckets
+  // cover every possible 32-bit row length.
   std::array<std::uint64_t, 33> hist{};
   for (index_t i = 0; i < a.rows; ++i) {
     const auto len = static_cast<std::uint32_t>(a.row_nnz(i));
     hist[static_cast<std::size_t>(std::bit_width(len))] += 1;
   }
   std::uint64_t hh = 0x5ca1ab1eull;
-  for (std::uint64_t count : hist) hh = mix(hh, count);
+  for (std::uint64_t count : hist) hh = mix64(hh, count);
   fp.histogram_hash = hh;
 
   std::uint64_t ch = 0xc0ffeeull;
-  for (index_t p : a.rowptr) ch = mix(ch, static_cast<std::uint64_t>(p));
-  for (index_t c : a.colind) ch = mix(ch, static_cast<std::uint64_t>(c));
-  for (float v : a.val) ch = mix(ch, std::bit_cast<std::uint32_t>(v));
+  for (index_t p : a.rowptr) ch = mix64(ch, static_cast<std::uint64_t>(p));
+  for (index_t c : a.colind) ch = mix64(ch, static_cast<std::uint64_t>(c));
+  for (float v : a.val) ch = mix64(ch, std::bit_cast<std::uint32_t>(v));
   fp.content_hash = ch;
   return fp;
 }

@@ -22,6 +22,11 @@ namespace gespmm::serve {
 using sparse::Csr;
 using sparse::index_t;
 
+/// SplitMix64's finalizer as a streaming combiner: deterministic,
+/// implementation-independent, and the serve layer's hashing function of
+/// record — graph fingerprints and model-plan content keys alike.
+std::uint64_t mix64(std::uint64_t h, std::uint64_t x);
+
 /// Identity of a registered sparse operand.
 struct GraphFingerprint {
   /// Row count of the operand (C's row count).

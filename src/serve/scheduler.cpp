@@ -31,13 +31,12 @@ void Scheduler::enqueue(const SchedRequest& r) {
     seen_order_.push_back(r.graph);
   }
   if (gq.pending == 0) ring_.push_back(r.graph);
-  // Under Fifo every request lands in one class so the global pick stays
-  // priority-blind (the v1 baseline); under DRR classes are separate
-  // queues, interactive first.
-  const std::size_t cls = opt_.policy == SchedulePolicy::Fifo
-                              ? 0
-                              : static_cast<std::size_t>(r.priority);
-  gq.q[cls].push_back(Item{r.seq, r.n, r.reduce});
+  // Requests always land in their priority class; Fifo restores the v1
+  // priority-blind order at pick time by sorting candidates on seq, so
+  // both policies see one queue shape (and one invariant: each class
+  // deque is seq-sorted because enqueue seqs strictly increase).
+  const std::size_t cls = static_cast<std::size_t>(r.priority);
+  gq.q[cls].push_back(Item{r.seq, r.n, r.reduce, r.model});
   ++gq.pending;
   ++gq.stats.enqueued;
   ++pending_;
@@ -51,40 +50,56 @@ const Scheduler::Item& Scheduler::head_of(const GraphQueue& gq) const {
 }
 
 std::vector<std::uint64_t> Scheduler::serve_from(GraphQueue& gq, index_t allowed,
-                                                 index_t* total_width) {
-  // Anchor = head in (priority, seq) order; later same-reduce requests
-  // join while the summed width stays within `allowed` and the count
-  // within max_batch_requests. Mismatched requests are skipped, never
-  // blocking a compatible one behind them.
+                                                 index_t* total_width,
+                                                 bool fifo_order) {
+  // Anchor = head in pick order — (priority, seq) under DRR, global
+  // admission seq under Fifo; later same-reduce requests join while the
+  // summed width stays within `allowed` and the count within
+  // max_batch_requests. Mismatched requests are skipped, never blocking
+  // a compatible one behind them. A model request is a whole forward
+  // pass: it anchors a singleton batch and never rides along.
   struct Pick {
     std::size_t cls;
     std::size_t idx;
   };
+  std::vector<Pick> order;
+  for (std::size_t cls = 0; cls < kNumPriorities; ++cls) {
+    for (std::size_t i = 0; i < gq.q[cls].size(); ++i) {
+      order.push_back({cls, i});
+    }
+  }
+  if (fifo_order) {
+    std::sort(order.begin(), order.end(), [&gq](const Pick& a, const Pick& b) {
+      return gq.q[a.cls][a.idx].seq < gq.q[b.cls][b.idx].seq;
+    });
+  }
   std::vector<Pick> picks;
   std::vector<std::uint64_t> seqs;
   const Item* anchor = nullptr;
   index_t total = 0;
-  for (std::size_t cls = 0; cls < kNumPriorities; ++cls) {
-    const auto& dq = gq.q[cls];
-    for (std::size_t i = 0; i < dq.size(); ++i) {
-      if (picks.size() >= limits_.max_batch_requests) break;
-      const Item& item = dq[i];
-      if (anchor == nullptr) {
-        anchor = &item;
-        picks.push_back({cls, i});
-        seqs.push_back(item.seq);
-        total = item.n;
-        continue;
-      }
-      if (item.reduce != anchor->reduce) continue;
-      if (total > allowed - item.n) continue;
-      picks.push_back({cls, i});
+  for (const Pick& p : order) {
+    if (picks.size() >= limits_.max_batch_requests) break;
+    const Item& item = gq.q[p.cls][p.idx];
+    if (anchor == nullptr) {
+      anchor = &item;
+      picks.push_back(p);
       seqs.push_back(item.seq);
-      total += item.n;
+      total = item.n;
+      if (item.model) break;  // a whole-model ticket ships alone
+      continue;
     }
+    if (item.model) continue;  // and never rides in someone else's batch
+    if (item.reduce != anchor->reduce) continue;
+    if (total > allowed - item.n) continue;
+    picks.push_back(p);
+    seqs.push_back(item.seq);
+    total += item.n;
   }
-  // Erase back-to-front so earlier indices stay valid (picks are in
-  // ascending (cls, idx) order).
+  // Erase back-to-front in (cls, idx) order so earlier indices stay valid
+  // (under fifo_order the picks may be interleaved across classes).
+  std::sort(picks.begin(), picks.end(), [](const Pick& a, const Pick& b) {
+    return a.cls != b.cls ? a.cls < b.cls : a.idx < b.idx;
+  });
   for (auto it = picks.rbegin(); it != picks.rend(); ++it) {
     auto& dq = gq.q[it->cls];
     dq.erase(dq.begin() + static_cast<std::ptrdiff_t>(it->idx));
@@ -112,22 +127,32 @@ index_t Scheduler::deficit_cap(index_t head_n) const {
 }
 
 std::vector<std::uint64_t> Scheduler::next_batch_fifo() {
-  // The oldest pending request anchors, wherever it lives.
+  // The globally oldest pending request anchors, wherever it lives — and
+  // it may sit in any priority class: a graph whose interactive deque is
+  // empty still has batch/best-effort work pending. (Blindly reading
+  // q[0].front() here was undefined behavior on exactly that shape, and
+  // even with q[0] non-empty it anchored on the oldest *interactive*
+  // request, not the oldest request.) Each class deque is seq-sorted, so
+  // the per-graph oldest is the minimum over non-empty class fronts.
   std::uint64_t best_graph = 0;
   std::uint64_t best_seq = 0;
+  index_t best_n = 0;
   bool found = false;
   for (const std::uint64_t g : ring_) {
-    const std::uint64_t s = queues_.at(g).q[0].front().seq;
-    if (!found || s < best_seq) {
-      best_graph = g;
-      best_seq = s;
-      found = true;
+    for (const auto& dq : queues_.at(g).q) {
+      if (dq.empty()) continue;
+      if (!found || dq.front().seq < best_seq) {
+        best_graph = g;
+        best_seq = dq.front().seq;
+        best_n = dq.front().n;
+        found = true;
+      }
     }
   }
   GraphQueue& gq = queues_.at(best_graph);
-  const index_t head_n = head_of(gq).n;
   index_t total = 0;
-  auto seqs = serve_from(gq, std::max(limits_.max_batch_n, head_n), &total);
+  auto seqs = serve_from(gq, std::max(limits_.max_batch_n, best_n), &total,
+                         /*fifo_order=*/true);
   if (gq.pending == 0) deactivate(best_graph);
   return seqs;
 }
@@ -149,7 +174,7 @@ std::vector<std::uint64_t> Scheduler::next_batch_drr() {
     index_t allowed = std::min(gq.deficit, limits_.max_batch_n);
     allowed = std::max(allowed, head.n);
     index_t total = 0;
-    auto seqs = serve_from(gq, allowed, &total);
+    auto seqs = serve_from(gq, allowed, &total, /*fifo_order=*/false);
     gq.deficit = std::max<index_t>(gq.deficit - total, 0);
     if (gq.pending == 0) {
       gq.deficit = 0;  // credit does not survive idleness

@@ -77,6 +77,11 @@ struct SchedRequest {
   index_t n = 0;
   ReduceKind reduce = ReduceKind::Sum;
   Priority priority = Priority::Interactive;
+  /// A fused whole-model request (Engine::submit_model): it never
+  /// coalesces with other requests — one ticket is already a full forward
+  /// pass — and its `n` is the model's summed per-layer SpMM width, the
+  /// DRR credit the whole pass costs.
+  bool model = false;
 };
 
 /// Per-graph scheduling counters.
@@ -122,6 +127,7 @@ class Scheduler {
     std::uint64_t seq = 0;
     index_t n = 0;
     ReduceKind reduce = ReduceKind::Sum;
+    bool model = false;
   };
   struct GraphQueue {
     std::array<std::deque<Item>, kNumPriorities> q;
@@ -133,8 +139,11 @@ class Scheduler {
   const Item& head_of(const GraphQueue& gq) const;
   /// Form, remove and account one batch from `gq`, coalescing up to
   /// `allowed` summed width; returns the seqs and sets `total_width`.
+  /// `fifo_order` anchors and joins in global admission order (the v1
+  /// priority-blind rule); otherwise (priority, seq) order. A model
+  /// request always ships alone, whichever role it plays.
   std::vector<std::uint64_t> serve_from(GraphQueue& gq, index_t allowed,
-                                        index_t* total_width);
+                                        index_t* total_width, bool fifo_order);
   void deactivate(std::uint64_t graph);
   std::vector<std::uint64_t> next_batch_fifo();
   std::vector<std::uint64_t> next_batch_drr();

@@ -77,6 +77,56 @@ TEST(Fingerprint, IdentifiesStructureAndValues) {
             serve::fingerprint(star).histogram_hash);
 }
 
+TEST(Fingerprint, RowLengthBucketBoundaryGoldens) {
+  // The histogram contract is half-open: bucket 0 counts empty rows,
+  // bucket b >= 1 counts rows with 2^(b-1) <= nnz < 2^b (bit_width
+  // semantics — a power-of-two length 2^k opens bucket k+1, it does not
+  // close bucket k). These goldens pin the boundary behavior so the
+  // histogram hash stays a stable identity.
+  const auto one_row = [](index_t len) {
+    std::vector<index_t> r, c;
+    std::vector<value_t> v;
+    for (index_t j = 0; j < len; ++j) {
+      r.push_back(0);
+      c.push_back(j);
+      v.push_back(1.0f);
+    }
+    return sparse::csr_from_triplets(1, 2048, r, c, v);
+  };
+  const auto hist = [&](index_t len) {
+    return serve::fingerprint(one_row(len)).histogram_hash;
+  };
+
+  // Same bucket: [2^(b-1), 2^b) shares a histogram.
+  EXPECT_EQ(hist(2), hist(3));        // bucket 2 = [2, 4)
+  EXPECT_EQ(hist(4), hist(7));        // bucket 3 = [4, 8)
+  EXPECT_EQ(hist(1024), hist(2047));  // bucket 11 = [1024, 2048)
+
+  // Boundary crossings: 2^k belongs to the *next* bucket, not the
+  // previous one (the spec the old comment got backwards).
+  EXPECT_NE(hist(0), hist(1));
+  EXPECT_NE(hist(1), hist(2));
+  EXPECT_NE(hist(3), hist(4));
+  EXPECT_NE(hist(1023), hist(1024));
+
+  // Absolute pins: a fixed 4-row staircase (row lengths 1, 2, 4, 8) must
+  // hash identically forever — any change to the bucketing or the mixing
+  // function is a registry/plan-cache identity break, not a refactor.
+  std::vector<index_t> r, c;
+  std::vector<value_t> v;
+  const index_t lens[4] = {1, 2, 4, 8};
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < lens[i]; ++j) {
+      r.push_back(i);
+      c.push_back(j);
+      v.push_back(1.0f + 0.5f * static_cast<value_t>(j));
+    }
+  }
+  const Csr stair = sparse::csr_from_triplets(4, 16, r, c, v);
+  EXPECT_EQ(serve::fingerprint(stair).histogram_hash, 0xe095d61fb44338bfull);
+  EXPECT_EQ(serve::fingerprint(stair).key(), 0x146e335994fc747dull);
+}
+
 TEST(BatchPlanner, CoalescesSameGraphWithinLimits) {
   const std::uint64_t g1 = 11, g2 = 22;
   const auto sum = kernels::ReduceKind::Sum;

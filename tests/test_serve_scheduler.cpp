@@ -212,6 +212,43 @@ TEST(SchedulerFifo, IsPriorityBlind) {
   EXPECT_EQ(s.next_batch(), (std::vector<std::uint64_t>{2}));
 }
 
+TEST(SchedulerFifo, MixedPriorityAndBatchOnlyGraphsAnchorGloballyOldest) {
+  // Regression: next_batch_fifo used to read q[0].front().seq blindly —
+  // undefined behavior when a graph's pending requests are all
+  // batch/best-effort (interactive deque empty), and even with q[0]
+  // non-empty it anchored on the oldest *interactive* request rather
+  // than the globally oldest one. The fix scans every priority class.
+  BatchConstraints lim;
+  SchedulerOptions opt;
+  opt.policy = SchedulePolicy::Fifo;
+  Scheduler s(opt, lim);
+
+  // Graph 1 holds only batch/best-effort work (the empty-q[0] UB shape);
+  // graph 2's younger request is interactive.
+  s.enqueue({0, 1, 8, ReduceKind::Sum, Priority::Batch});
+  s.enqueue({1, 1, 8, ReduceKind::Sum, Priority::BestEffort});
+  s.enqueue({2, 2, 8, ReduceKind::Sum, Priority::Interactive});
+
+  // FIFO is priority-blind: the oldest request (batch-class, graph 1)
+  // anchors and its best-effort sibling rides along; the interactive
+  // request on graph 2 waits its turn.
+  EXPECT_EQ(s.next_batch(), (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(s.next_batch(), (std::vector<std::uint64_t>{2}));
+
+  // A graph whose q[0] is empty but whose batch class is *younger* than
+  // another graph's interactive head must not win the anchor race.
+  s.enqueue({3, 3, 8, ReduceKind::Sum, Priority::Interactive});
+  s.enqueue({4, 4, 8, ReduceKind::Sum, Priority::BestEffort});
+  EXPECT_EQ(s.next_batch(), (std::vector<std::uint64_t>{3}));
+  EXPECT_EQ(s.next_batch(), (std::vector<std::uint64_t>{4}));
+
+  // Single graph, batch-only backlog: drains in admission order.
+  s.enqueue({5, 5, 8, ReduceKind::Sum, Priority::Batch});
+  s.enqueue({6, 5, 8, ReduceKind::Sum, Priority::Batch});
+  EXPECT_EQ(s.next_batch(), (std::vector<std::uint64_t>{5, 6}));
+  EXPECT_TRUE(s.empty());
+}
+
 TEST(SchedulerDrr, FairnessBoundPropertyUniformWidths) {
   // Property: with every graph continuously backlogged and per-graph
   // uniform request width w <= quantum, after R full rotations each graph
