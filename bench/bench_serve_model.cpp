@@ -64,12 +64,13 @@ kernels::DenseMatrix composed_forward(serve::Engine& eng, serve::GraphId gid,
     if (s.transform_first) {
       kernels::DenseMatrix t(h.rows(), s.out_width);
       serve::gemm(h, w, t);
-      const serve::Ticket tk = eng.submit(gid, std::move(t), s.reduce);
+      const serve::Ticket tk = eng.submit(gid, std::move(t), {.reduce = s.reduce});
       kernels::DenseMatrix z = tk.wait().c;
       serve::bias_act(z, b, s.relu);
       h = std::move(z);
     } else {
-      const serve::Ticket tk = eng.submit(gid, kernels::DenseMatrix(h), s.reduce);
+      const serve::Ticket tk =
+          eng.submit(gid, kernels::DenseMatrix(h), {.reduce = s.reduce});
       kernels::DenseMatrix out(h.rows(), s.out_width);
       serve::dense_transform(tk.wait().c, w, b, s.relu, out);
       h = std::move(out);

@@ -1,20 +1,23 @@
-/// Serving daemon demo: the batched SpMM engine under concurrent traffic,
-/// with the v2 scheduler layer in play.
+/// Serving daemon demo: the batched SpMM engine under concurrent
+/// multi-tenant traffic, with the v3 sharded serving layer in play.
 ///
 /// Four client threads fire GNN inference requests (width-16/32 feature
 /// matrices, a mix of interactive/batch/best-effort priorities) at the
-/// three citation graphs. The engine admits against a bounded queue
-/// (shedding best-effort traffic first under pressure), schedules
-/// batches deficit-round-robin across the per-graph queues so no graph
-/// starves, coalesces same-graph requests into multi-feature SpMMs, and
-/// round-robins them across both simulated devices through an
-/// LRU-bounded plan cache. A fifth client serves whole *models*: each
+/// three citation graphs, split across two tenants: "alpha" holds a 3x
+/// weighted-DRR share over "beta", so under backlog alpha's queues drain
+/// three columns for every one of beta's. Interactive requests carry a
+/// virtual-clock deadline; once the engine's clock passes it they are
+/// shed at admission with a typed `DeadlineExceeded` status instead of
+/// occupying queue space. A fifth client serves whole *models*: each
 /// `submit_model` ticket is an entire GCN forward pass, executed as a
 /// fused SpMM→GEMM chain with cross-layer plan reuse, competing in the
-/// same scheduler at its total SpMM width. On shutdown the daemon prints
-/// the admission, per-graph scheduling, per-device dispatch and
-/// plan-cache statistics — the levers that keep a long-lived
-/// multi-tenant daemon fast and bounded.
+/// same scheduler at its total SpMM width. A final oversized graph —
+/// too big for the configured per-device capacity — is row-partitioned
+/// across both devices by the shard planner and served scatter/gather,
+/// bitwise identical to the unsharded result. On shutdown the daemon
+/// prints the admission, per-tenant, per-graph scheduling, per-device
+/// dispatch and plan-cache statistics — the levers that keep a
+/// long-lived multi-tenant daemon fast, fair and bounded.
 ///
 /// Build & run:  cmake -B build && cmake --build build -j
 ///               ./build/examples/serving_daemon
@@ -25,14 +28,19 @@
 
 #include "serve/engine.hpp"
 #include "sparse/datasets.hpp"
+#include "sparse/generators.hpp"
 
 using namespace gespmm;
 
 int main() {
   serve::ServeOptions opt;        // both devices, two workers
   opt.plan.sample_blocks = 512;
-  opt.plan.max_entries = 8;       // long-lived daemons bound their plans
+  opt.plan.max_entries = 16;      // long-lived daemons bound their plans
   opt.admission.max_pending = 64; // ...and their pending queue
+  // Two tenants: alpha is provisioned 3x beta's scheduler share.
+  opt.tenants = {{"alpha", {.share = 3.0}}, {"beta", {.share = 1.0}}};
+  // Cap per-device graph residency so the demo's big graph must shard.
+  opt.sharding.device_capacity_bytes = 6ull * 1024 * 1024;
   serve::Engine engine(opt);
 
   // Register the graph catalogue once; identical re-registrations dedup.
@@ -45,7 +53,9 @@ int main() {
   }
 
   // Four clients, 64 requests each, mixed across graphs, widths and
-  // service classes.
+  // service classes; even clients submit as alpha, odd as beta.
+  // Interactive requests carry a deadline a few virtual ms out — late
+  // ones are shed at admission rather than served stale.
   constexpr int kClients = 4, kPerClient = 64;
   constexpr serve::Priority kPriorities[] = {
       serve::Priority::Interactive, serve::Priority::Batch,
@@ -60,9 +70,15 @@ int main() {
         kernels::DenseMatrix b(graphs[gi].adj.cols, n);
         kernels::fill_random(b, 7000 + 100 * static_cast<std::uint64_t>(c) +
                                     static_cast<std::uint64_t>(r));
+        serve::SubmitOptions so;
+        so.priority = kPriorities[r % 3];
+        so.tenant = (c % 2 == 0) ? "alpha" : "beta";
+        // Interactive traffic carries an absolute virtual-clock SLO:
+        // once the engine's clock passes it, late arrivals are shed at
+        // admission instead of being served stale.
+        if (so.priority == serve::Priority::Interactive) so.deadline_ms = 0.75;
         tickets[static_cast<std::size_t>(c)].push_back(
-            engine.submit(ids[gi], std::move(b), kernels::ReduceKind::Sum,
-                          kPriorities[r % 3]));
+            engine.submit(ids[gi], std::move(b), so));
       }
     });
   }
@@ -83,7 +99,9 @@ int main() {
       kernels::DenseMatrix x(graphs[gi].adj.rows, 32);
       kernels::fill_random(x, 9900 + static_cast<std::uint64_t>(r));
       model_tickets.push_back(engine.submit_model(
-          model_ids[gi], std::move(x), serve::Priority::Batch));
+          model_ids[gi], std::move(x),
+          {.priority = serve::Priority::Batch,
+           .tenant = (r % 2 == 0) ? "alpha" : "beta"}));
     }
   });
 
@@ -94,25 +112,29 @@ int main() {
   // wait() returns a typed status instead of throwing); sample one
   // result's metadata per client.
   for (int c = 0; c < kClients; ++c) {
-    int shed = 0;
+    int shed = 0, late = 0;
     const serve::RequestResult* last_ok = nullptr;
     for (const auto& t : tickets[static_cast<std::size_t>(c)]) {
       const auto& res = t.wait();
       if (res.status == serve::RequestStatus::Shed) {
         ++shed;
+        if (res.shed_reason == serve::ShedReason::DeadlineExceeded) ++late;
       } else {
         last_ok = &res;
       }
     }
     if (last_ok != nullptr) {
-      std::printf("client %d done (%d shed); last served: device=%-9s algo=%s "
-                  "batch=%d share=%.4f ms done@%.3f ms%s\n",
-                  c, shed, last_ok->device.c_str(),
-                  kernels::algo_name(last_ok->algo), last_ok->batch_size,
-                  last_ok->modelled_ms, last_ok->completed_at_ms,
+      std::printf("client %d (%s) done (%d shed, %d past deadline); last "
+                  "served: device=%-9s algo=%s batch=%d share=%.4f ms "
+                  "done@%.3f ms%s\n",
+                  c, last_ok->tenant.c_str(), shed, late,
+                  last_ok->device.c_str(), kernels::algo_name(last_ok->algo),
+                  last_ok->batch_size, last_ok->modelled_ms,
+                  last_ok->completed_at_ms,
                   last_ok->plan_cache_hit ? " (plan cache hit)" : "");
     } else {
-      std::printf("client %d done (%d shed)\n", c, shed);
+      std::printf("client %d done (%d shed, %d past deadline)\n", c, shed,
+                  late);
     }
   }
 
@@ -142,6 +164,47 @@ int main() {
     }
   }
 
+  // A straggler arrives after its SLO has already passed: the virtual
+  // clock has advanced beyond its deadline, so admission sheds it with
+  // a typed DeadlineExceeded status instead of serving it stale.
+  {
+    kernels::DenseMatrix b(graphs[0].adj.cols, 16);
+    kernels::fill_random(b, 12345);
+    const auto& res =
+        engine
+            .submit(ids[0], std::move(b),
+                    {.tenant = "beta", .deadline_ms = 0.25})
+            .wait();
+    std::printf("\nstraggler (deadline 0.25 ms, clock now %.3f ms): %s\n",
+                engine.virtual_now_ms(),
+                res.status == serve::RequestStatus::Shed
+                    ? serve::shed_reason_name(res.shed_reason)
+                    : "served");
+  }
+
+  // A graph too large for one device: the shard planner row-partitions
+  // it across the device group and the engine serves it scatter/gather.
+  {
+    const sparse::Csr big = sparse::uniform_random(65536, 65536, 1 << 20, 42);
+    const serve::GraphId big_id = engine.register_graph(big);
+    const auto plan = engine.shard_plan(big_id);
+    std::printf("\nregistered big graph: %d vertices, %d edges -> %d shards\n",
+                big.rows, big.nnz(), plan != nullptr ? plan->num_shards() : 1);
+    if (plan != nullptr) {
+      for (const auto& s : plan->shards) {
+        std::printf("  shard %d: rows [%7d, %7d)  nnz %7d  halo %6d\n",
+                    s.index, s.row_begin, s.row_end, s.nnz(), s.halo_cols);
+      }
+    }
+    kernels::DenseMatrix x(big.cols, 8);
+    kernels::fill_random(x, 4242);
+    const auto& res =
+        engine.submit(big_id, std::move(x), {.tenant = "alpha"}).wait();
+    std::printf("sharded request served across %d shards: %.3f ms "
+                "(gather-inclusive makespan share)\n",
+                res.shards, res.modelled_ms);
+  }
+
   engine.shutdown();
   const auto st = engine.stats();
 
@@ -153,16 +216,27 @@ int main() {
                 static_cast<unsigned long long>(st.admission.shed[p]));
   }
 
+  std::printf("\n== tenants ==\n");
+  for (const auto& t : st.tenants) {
+    std::printf("%-6s (share %.1f): %3llu submitted, %3llu completed, "
+                "%3llu shed, %6llu columns served\n",
+                t.tenant.c_str(), t.share,
+                static_cast<unsigned long long>(t.submitted),
+                static_cast<unsigned long long>(t.completed),
+                static_cast<unsigned long long>(t.shed),
+                static_cast<unsigned long long>(t.served_width));
+  }
+
   std::printf("\n== per-graph scheduling (%s) ==\n",
               serve::schedule_policy_name(engine.options().scheduler.policy));
   for (const auto& g : st.graphs) {  // first-submission order; match by key
-    const char* name = "?";
+    const char* name = "big";
     for (std::size_t gi = 0; gi < ids.size(); ++gi) {
       if (ids[gi].key == g.graph) name = graphs[gi].name.c_str();
     }
-    std::printf("%-9s: %3llu served in %3llu batches, %3llu deferred, "
+    std::printf("%-9s t%u: %3llu served in %3llu batches, %3llu deferred, "
                 "%6llu columns\n",
-                name, static_cast<unsigned long long>(g.served),
+                name, g.tenant, static_cast<unsigned long long>(g.served),
                 static_cast<unsigned long long>(g.batches),
                 static_cast<unsigned long long>(g.deferred),
                 static_cast<unsigned long long>(g.served_width));
@@ -179,12 +253,20 @@ int main() {
   }
 
   const auto pc = engine.plan_cache().stats();
-  std::printf("\ntotal: %llu served + %llu shed, %llu coalesced, %llu batches, "
-              "%.3f modelled ms\n",
+  std::printf("\ntotal: %llu served + %llu shed (%llu past deadline), "
+              "%llu coalesced, %llu batches, %.3f modelled ms\n",
               static_cast<unsigned long long>(st.completed),
               static_cast<unsigned long long>(st.shed),
+              static_cast<unsigned long long>(st.admission.shed_deadline),
               static_cast<unsigned long long>(st.coalesced_requests),
               static_cast<unsigned long long>(st.batches), st.modelled_ms);
+  std::printf("deadlines: %llu served late (deadline_met=false)\n",
+              static_cast<unsigned long long>(st.deadline_missed));
+  std::printf("sharding: %llu graphs sharded, %llu shard launches, %.3f ms "
+              "gather\n",
+              static_cast<unsigned long long>(st.graphs_sharded),
+              static_cast<unsigned long long>(st.shard_launches),
+              st.gather_ms);
   std::printf("plan cache: %zu resident (budget %zu, peak %zu), %llu hit / "
               "%llu miss, %llu evicted\n",
               pc.size, engine.options().plan.max_entries, pc.peak_size,

@@ -39,6 +39,12 @@ PER_BENCH_TOLERANCE = {
 
 HARD_KEYS = ("snap_scale", "max_graphs", "sample_blocks", "quick")
 
+# Benches the committed baseline must always cover (hard-fail when absent):
+# the baseline is the proof these subsystems were measured. A required
+# bench missing from it means the baseline predates the subsystem — it
+# must be re-recorded with scripts/bench_baseline.sh in the same PR.
+REQUIRED_BENCHES = ("serve_shard",)
+
 
 def load(path):
     try:
@@ -101,6 +107,12 @@ def main():
 
     base_groups = rollup_map(base)
     fresh_groups = rollup_map(fresh)
+
+    for bench in REQUIRED_BENCHES:
+        if not any(key[0] == bench for key in base_groups):
+            failures.append(
+                f"required: baseline has no '{bench}' rollup — re-record it "
+                "with scripts/bench_baseline.sh")
 
     missing = sorted(set(base_groups) - set(fresh_groups))
     for key in missing:

@@ -18,6 +18,7 @@ DeviceSpec gtx1080ti() {
   d.regs_per_sm = 65536;
   d.smem_per_sm = 96 * 1024;
   d.max_smem_per_block = 48 * 1024;
+  d.dram_bytes = 11ull * 1024 * 1024 * 1024;  // 11 GB GDDR5X
   d.dram_bw_gbps = 484.0;
   d.l2_bw_ratio = 2.0;   // GP102 L2 ~ 1 TB/s
   d.unified_l1 = false;  // Pascal: global loads bypass L1 by default
@@ -40,6 +41,7 @@ DeviceSpec rtx2080() {
   d.regs_per_sm = 65536;
   d.smem_per_sm = 64 * 1024;
   d.max_smem_per_block = 64 * 1024;
+  d.dram_bytes = 8ull * 1024 * 1024 * 1024;  // 8 GB GDDR6
   d.dram_bw_gbps = 448.0;
   d.l2_bw_ratio = 2.2;  // TU104 L2 relatively faster
   d.l1_bw_ratio = 6.0;

@@ -36,6 +36,10 @@ struct DeviceSpec {
   double issue_width = 4.0;
 
   // --- Memory hierarchy ---
+  /// DRAM capacity in bytes — the budget a resident CSR operand must fit
+  /// in. The serving engine's shard planner row-partitions any registered
+  /// graph whose footprint exceeds the smallest configured device.
+  std::size_t dram_bytes = 11ull * 1024 * 1024 * 1024;
   /// DRAM peak bandwidth in GB/s.
   double dram_bw_gbps = 484.0;
   /// L2 bandwidth as a multiple of DRAM bandwidth.

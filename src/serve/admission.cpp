@@ -30,19 +30,29 @@ const char* shed_reason_name(ShedReason r) {
     case ShedReason::None: return "none";
     case ShedReason::QueueFull: return "queue-full";
     case ShedReason::PriorityShed: return "priority-shed";
+    case ShedReason::DeadlineExceeded: return "deadline-exceeded";
   }
   return "?";
 }
 
 AdmissionDecision admit_request(Priority p, std::size_t pending,
-                                const AdmissionOptions& opt) {
+                                const AdmissionOptions& opt,
+                                const TenantConfig& tenant, double deadline_ms,
+                                double now_ms) {
+  // A dead-on-arrival deadline beats every occupancy reason: even an
+  // empty queue cannot serve it in time (execution always advances the
+  // clock), and the typed reason tells the caller to stop retrying.
+  if (deadline_ms > 0.0 && deadline_ms <= now_ms) {
+    return {false, ShedReason::DeadlineExceeded};
+  }
   if (pending >= opt.max_pending) return {false, ShedReason::QueueFull};
   if (p == Priority::BestEffort &&
-      pending >= shed_threshold(opt.best_effort_shed_fraction, opt.max_pending)) {
+      pending >=
+          shed_threshold(tenant.best_effort_shed_fraction, opt.max_pending)) {
     return {false, ShedReason::PriorityShed};
   }
   if (p == Priority::Batch &&
-      pending >= shed_threshold(opt.batch_shed_fraction, opt.max_pending)) {
+      pending >= shed_threshold(tenant.batch_shed_fraction, opt.max_pending)) {
     return {false, ShedReason::PriorityShed};
   }
   return {true, ShedReason::None};
@@ -60,15 +70,21 @@ std::uint64_t AdmissionStats::total_shed() const {
   return total;
 }
 
-AdmissionDecision AdmissionController::admit(Priority p, std::size_t pending) {
-  const AdmissionDecision d = admit_request(p, pending, opt_);
+AdmissionDecision AdmissionController::admit(Priority p, std::size_t pending,
+                                             const TenantConfig& tenant,
+                                             double deadline_ms, double now_ms) {
+  const AdmissionDecision d =
+      admit_request(p, pending, opt_, tenant, deadline_ms, now_ms);
   const auto cls = static_cast<std::size_t>(p);
   if (d.admitted) {
     ++stats_.admitted[cls];
   } else {
     ++stats_.shed[cls];
-    (d.reason == ShedReason::QueueFull ? stats_.shed_queue_full
-                                       : stats_.shed_priority) += 1;
+    switch (d.reason) {
+      case ShedReason::QueueFull: ++stats_.shed_queue_full; break;
+      case ShedReason::DeadlineExceeded: ++stats_.shed_deadline; break;
+      default: ++stats_.shed_priority; break;
+    }
   }
   return d;
 }

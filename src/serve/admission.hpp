@@ -1,17 +1,28 @@
 #pragma once
 /// \file admission.hpp
 /// Admission control for the serving engine: per-request service classes,
-/// a bounded pending queue, and load shedding with typed reject reasons.
+/// per-tenant shed thresholds, a bounded pending queue, per-request
+/// deadlines, and load shedding with typed reject reasons.
 ///
 /// A long-lived daemon must bound its pending work: an unbounded queue
 /// turns overload into unbounded memory growth and unbounded latency for
 /// everyone. The controller sheds load *by class* — best-effort traffic
 /// is dropped first, batch next, interactive only once the queue is
 /// hard-full — so the least latency-critical traffic absorbs the
-/// pressure. Decisions are pure functions of (current occupancy, request
-/// priority, limits): no wall clock, no randomness, so a fixed
-/// submission order always sheds exactly the same requests and tests can
-/// pin outcomes as goldens.
+/// pressure. Each tenant carries its own shed fractions (see
+/// `TenantConfig`), so one tenant's tolerance for shedding does not leak
+/// into another's contract.
+///
+/// Deadlines shed *by time*: a request whose absolute deadline (a
+/// virtual-clock stamp, ms) is already at or past the engine's virtual
+/// now can never complete in time — executing it would only burn device
+/// time that on-time requests need — so it sheds with
+/// `ShedReason::DeadlineExceeded` before any occupancy check runs.
+///
+/// Decisions are pure functions of (current occupancy, request priority,
+/// tenant limits, deadline, virtual now): no wall clock, no randomness,
+/// so a fixed submission order against a fixed virtual clock always sheds
+/// exactly the same requests and tests can pin outcomes as goldens.
 
 #include <array>
 #include <cstddef>
@@ -24,10 +35,10 @@ enum class Priority : int {
   /// User-facing inference; shed only when the queue is hard-full.
   Interactive = 0,
   /// Throughput-oriented work (precompute, training epochs); shed once
-  /// occupancy crosses `AdmissionOptions::batch_shed_fraction`.
+  /// occupancy crosses the tenant's `batch_shed_fraction`.
   Batch = 1,
-  /// Scavenger traffic; shed once occupancy crosses
-  /// `AdmissionOptions::best_effort_shed_fraction`.
+  /// Scavenger traffic; shed once occupancy crosses the tenant's
+  /// `best_effort_shed_fraction`.
   BestEffort = 2,
 };
 
@@ -41,23 +52,40 @@ enum class ShedReason {
   QueueFull,
   /// Occupancy is above this service class's shed threshold.
   PriorityShed,
+  /// The request's absolute deadline is at or before the virtual clock:
+  /// it cannot possibly complete in time, so it sheds before occupancy
+  /// is even considered.
+  DeadlineExceeded,
 };
 
 /// "interactive" / "batch" / "best-effort" — for logs and stats dumps.
 const char* priority_name(Priority p);
 
-/// "none" / "queue-full" / "priority-shed".
+/// "none" / "queue-full" / "priority-shed" / "deadline-exceeded".
 const char* shed_reason_name(ShedReason r);
 
-/// Queue bound and per-class shed thresholds.
+/// One tenant's service contract: its weighted-DRR share and the shed
+/// thresholds its traffic is admitted under. The engine takes a map of
+/// these in `ServeOptions::tenants`; the defaults reproduce the previous
+/// single-tenant behaviour bitwise.
+struct TenantConfig {
+  /// Relative width-credit weight for the deficit-round-robin scheduler:
+  /// a share-3 tenant earns 3x the per-visit quantum of a share-1 tenant.
+  /// Must be positive and finite (validated at engine construction).
+  double share = 1.0;
+  /// Occupancy fraction (of `AdmissionOptions::max_pending`) at which
+  /// this tenant's Batch requests shed.
+  double batch_shed_fraction = 0.75;
+  /// Occupancy fraction at which this tenant's BestEffort requests shed.
+  double best_effort_shed_fraction = 0.5;
+};
+
+/// Engine-wide queue bound (per-class thresholds live per tenant in
+/// `TenantConfig`).
 struct AdmissionOptions {
   /// Hard cap on requests pending in the scheduler (admitted but not yet
   /// dispatched). At this occupancy even interactive requests shed.
   std::size_t max_pending = 1024;
-  /// Occupancy fraction (of `max_pending`) at which Batch requests shed.
-  double batch_shed_fraction = 0.75;
-  /// Occupancy fraction at which BestEffort requests shed.
-  double best_effort_shed_fraction = 0.5;
 };
 
 /// Outcome of one admission check.
@@ -66,11 +94,17 @@ struct AdmissionDecision {
   ShedReason reason = ShedReason::None;
 };
 
-/// Pure admission policy: may a request of class `p` join a queue that
-/// currently holds `pending` requests? Deterministic and stateless — the
-/// unit-testable core of the controller.
+/// Pure admission policy: may a request of class `p` from a tenant with
+/// contract `tenant` join a queue that currently holds `pending`
+/// requests, given that it must complete by absolute virtual-clock stamp
+/// `deadline_ms` (0 = no deadline) and the clock already reads `now_ms`?
+/// Deterministic and stateless — the unit-testable core of the
+/// controller. Shed order: deadline first, then queue-full, then the
+/// class threshold.
 AdmissionDecision admit_request(Priority p, std::size_t pending,
-                                const AdmissionOptions& opt);
+                                const AdmissionOptions& opt,
+                                const TenantConfig& tenant = {},
+                                double deadline_ms = 0.0, double now_ms = 0.0);
 
 /// Per-class admitted/shed counters (indexed by Priority).
 struct AdmissionStats {
@@ -78,6 +112,8 @@ struct AdmissionStats {
   std::array<std::uint64_t, kNumPriorities> shed{};
   std::uint64_t shed_queue_full = 0;
   std::uint64_t shed_priority = 0;
+  /// Requests shed because their deadline had already passed at submit.
+  std::uint64_t shed_deadline = 0;
 
   std::uint64_t total_admitted() const;
   std::uint64_t total_shed() const;
@@ -90,7 +126,9 @@ class AdmissionController {
   explicit AdmissionController(AdmissionOptions opt = {}) : opt_(opt) {}
 
   /// Decide and record the outcome for one request.
-  AdmissionDecision admit(Priority p, std::size_t pending);
+  AdmissionDecision admit(Priority p, std::size_t pending,
+                          const TenantConfig& tenant = {},
+                          double deadline_ms = 0.0, double now_ms = 0.0);
 
   const AdmissionStats& stats() const { return stats_; }
   const AdmissionOptions& options() const { return opt_; }

@@ -1,5 +1,7 @@
 #include "serve/engine.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "kernels/spmm_host.hpp"
@@ -30,10 +32,35 @@ bool Ticket::ready() const {
   return state_->done;
 }
 
-ServeOptions::ServeOptions() : devices{gpusim::gtx1080ti(), gpusim::rtx2080()} {}
+ServeOptions::ServeOptions()
+    : devices{gpusim::gtx1080ti(), gpusim::rtx2080()},
+      tenants{{"default", TenantConfig{}}} {}
+
+namespace {
+
+/// Validate the tenant roster and derive the scheduler's share vector
+/// (sorted-name order == tenant index order) before any member that
+/// depends on it is constructed.
+ServeOptions prepare_options(ServeOptions opt) {
+  if (opt.tenants.empty()) {
+    throw std::invalid_argument("Engine: at least one tenant required");
+  }
+  opt.scheduler.tenant_shares.clear();
+  opt.scheduler.tenant_shares.reserve(opt.tenants.size());
+  for (const auto& [name, cfg] : opt.tenants) {
+    if (!(cfg.share > 0.0) || !std::isfinite(cfg.share)) {
+      throw std::invalid_argument("Engine: tenant \"" + name +
+                                  "\" share must be positive and finite");
+    }
+    opt.scheduler.tenant_shares.push_back(cfg.share);
+  }
+  return opt;
+}
+
+}  // namespace
 
 Engine::Engine(ServeOptions opt)
-    : opt_(std::move(opt)),
+    : opt_(prepare_options(std::move(opt))),
       plan_cache_(opt_.plan),
       scheduler_(opt_.scheduler, opt_.batch),
       admission_(opt_.admission) {
@@ -42,6 +69,17 @@ Engine::Engine(ServeOptions opt)
   }
   if (opt_.num_workers < 1) {
     throw std::invalid_argument("Engine: at least one worker required");
+  }
+  tenant_names_.reserve(opt_.tenants.size());
+  tenant_cfgs_.reserve(opt_.tenants.size());
+  stats_.tenants.reserve(opt_.tenants.size());
+  for (const auto& [name, cfg] : opt_.tenants) {
+    tenant_names_.push_back(name);
+    tenant_cfgs_.push_back(cfg);
+    TenantServeStats ts;
+    ts.tenant = name;
+    ts.share = cfg.share;
+    stats_.tenants.push_back(std::move(ts));
   }
   stats_.devices.reserve(opt_.devices.size());
   for (const auto& dev : opt_.devices) {
@@ -54,16 +92,65 @@ Engine::Engine(ServeOptions opt)
 
 Engine::~Engine() { shutdown(); }
 
+std::uint32_t Engine::tenant_index(const std::string& name) const {
+  const auto it = std::lower_bound(tenant_names_.begin(), tenant_names_.end(), name);
+  if (it == tenant_names_.end() || *it != name) {
+    throw std::invalid_argument("Engine: unknown tenant \"" + name +
+                                "\" (not in ServeOptions::tenants)");
+  }
+  return static_cast<std::uint32_t>(it - tenant_names_.begin());
+}
+
 GraphId Engine::register_graph(const Csr& a) {
   a.validate();
   const GraphFingerprint fp = fingerprint(a);
   const std::uint64_t key = fp.key();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (graphs_.contains(key)) {
+      ++stats_.register_dedup_hits;
+      return GraphId{key};
+    }
+  }
+
+  // Shard planning happens outside the lock: it is an O(nnz) pass per
+  // shard and only runs once per distinct oversized operand.
+  std::size_t capacity = opt_.sharding.device_capacity_bytes;
+  if (capacity == 0) {
+    capacity = opt_.devices.front().dram_bytes;
+    for (const auto& dev : opt_.devices) {
+      capacity = std::min(capacity, dev.dram_bytes);
+    }
+  }
+  std::shared_ptr<const ShardPlan> shards;
+  const std::size_t bytes = csr_bytes(a);
+  if (bytes > capacity) {
+    if (opt_.devices.size() < 2) {
+      throw std::runtime_error(
+          "Engine::register_graph: operand (" + std::to_string(bytes) +
+          " bytes) exceeds the device capacity (" + std::to_string(capacity) +
+          " bytes) and there is no device group to shard across");
+    }
+    auto plan = std::make_shared<ShardPlan>(
+        plan_shards(a, static_cast<int>(opt_.devices.size())));
+    if (plan->max_shard_bytes() > capacity) {
+      throw std::runtime_error(
+          "Engine::register_graph: operand does not fit even sharded " +
+          std::to_string(opt_.devices.size()) + " ways (largest shard " +
+          std::to_string(plan->max_shard_bytes()) + " bytes, capacity " +
+          std::to_string(capacity) + " bytes)");
+    }
+    shards = std::move(plan);
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
   if (graphs_.contains(key)) {
     ++stats_.register_dedup_hits;
   } else {
-    graphs_.emplace(key, std::make_shared<const Csr>(a));
+    graphs_.emplace(key,
+                    RegisteredGraph{std::make_shared<const Csr>(a), shards});
     ++stats_.graphs_registered;
+    if (shards) ++stats_.graphs_sharded;
   }
   return GraphId{key};
 }
@@ -74,7 +161,16 @@ std::shared_ptr<const Csr> Engine::graph(GraphId id) const {
   if (it == graphs_.end()) {
     throw std::invalid_argument("Engine::graph: unknown graph handle");
   }
-  return it->second;
+  return it->second.csr;
+}
+
+std::shared_ptr<const ShardPlan> Engine::shard_plan(GraphId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(id.key);
+  if (it == graphs_.end()) {
+    throw std::invalid_argument("Engine::shard_plan: unknown graph handle");
+  }
+  return it->second.shards;
 }
 
 ModelId Engine::register_model(GraphId graph, ModelSpec spec) {
@@ -85,7 +181,12 @@ ModelId Engine::register_model(GraphId graph, ModelSpec spec) {
     if (it == graphs_.end()) {
       throw std::invalid_argument("Engine::register_model: unknown graph handle");
     }
-    g = it->second;
+    if (it->second.shards != nullptr) {
+      throw std::invalid_argument(
+          "Engine::register_model: graph is sharded across devices; model "
+          "serving needs the whole operand resident on one device");
+    }
+    g = it->second.csr;
   }
   // Compile (and content-hash the parameters) outside the lock; graphs
   // are never unregistered, so the handle stays valid.
@@ -112,12 +213,14 @@ std::shared_ptr<const RegisteredModel> Engine::model(ModelId id) const {
   return it->second;
 }
 
-Ticket Engine::submit(GraphId id, DenseMatrix b, ReduceKind reduce,
-                      Priority priority) {
+Ticket Engine::submit(GraphId id, DenseMatrix b, const SubmitOptions& options) {
   auto state = std::make_shared<detail::RequestState>();
   state->graph_key = id.key;
-  state->reduce = reduce;
-  state->priority = priority;
+  state->reduce = options.reduce;
+  state->priority = options.priority;
+  state->tenant = tenant_index(options.tenant);
+  state->tenant_name = options.tenant;
+  state->deadline_ms = options.deadline_ms;
   bool shed = false;
   ShedReason reason = ShedReason::None;
   {
@@ -129,7 +232,8 @@ Ticket Engine::submit(GraphId id, DenseMatrix b, ReduceKind reduce,
     if (it == graphs_.end()) {
       throw std::invalid_argument("Engine::submit: unknown graph handle");
     }
-    state->graph = it->second;
+    state->graph = it->second.csr;
+    state->shards = it->second.shards;
     if (b.rows() != state->graph->cols) {
       throw std::invalid_argument("Engine::submit: B must have A.cols rows");
     }
@@ -140,16 +244,22 @@ Ticket Engine::submit(GraphId id, DenseMatrix b, ReduceKind reduce,
       throw std::invalid_argument("Engine::submit: B must be row-major");
     }
     state->b = std::move(b);
-    const AdmissionDecision d = admission_.admit(priority, scheduler_.pending());
+    state->sched_width = state->b.cols();
+    const AdmissionDecision d = admission_.admit(
+        options.priority, scheduler_.pending(), tenant_cfgs_[state->tenant],
+        options.deadline_ms, virtual_now_ms_);
     if (!d.admitted) {
       shed = true;
       reason = d.reason;
       ++stats_.shed;
+      ++stats_.tenants[state->tenant].shed;
     } else {
       state->seq = next_seq_++;
-      scheduler_.enqueue({state->seq, id.key, state->b.cols(), reduce, priority});
+      scheduler_.enqueue({state->seq, id.key, state->b.cols(), options.reduce,
+                          options.priority, /*model=*/false, state->tenant});
       pending_states_.emplace(state->seq, state);
       ++stats_.submitted;
+      ++stats_.tenants[state->tenant].submitted;
     }
   }
   if (shed) {
@@ -159,10 +269,14 @@ Ticket Engine::submit(GraphId id, DenseMatrix b, ReduceKind reduce,
     // ticket.
     state->b = DenseMatrix();
     state->graph.reset();
+    state->shards.reset();
     RequestResult res;
     res.status = RequestStatus::Shed;
     res.shed_reason = reason;
-    res.priority = priority;
+    res.priority = options.priority;
+    res.tenant = options.tenant;
+    res.deadline_ms = options.deadline_ms;
+    res.deadline_met = reason != ShedReason::DeadlineExceeded;
     res.batch_size = 0;
     state->fulfill(std::move(res));
     return Ticket(state);
@@ -172,9 +286,12 @@ Ticket Engine::submit(GraphId id, DenseMatrix b, ReduceKind reduce,
 }
 
 Ticket Engine::submit_model(ModelId id, DenseMatrix features,
-                            Priority priority) {
+                            const SubmitOptions& options) {
   auto state = std::make_shared<detail::RequestState>();
-  state->priority = priority;
+  state->priority = options.priority;
+  state->tenant = tenant_index(options.tenant);
+  state->tenant_name = options.tenant;
+  state->deadline_ms = options.deadline_ms;
   bool shed = false;
   ShedReason reason = ShedReason::None;
   {
@@ -205,21 +322,26 @@ Ticket Engine::submit_model(ModelId id, DenseMatrix features,
     state->graph_key = m->plan.graph_key;
     state->reduce = m->spec.reduce;
     state->b = std::move(features);
-    const AdmissionDecision d = admission_.admit(priority, scheduler_.pending());
+    state->sched_width = m->plan.total_spmm_width;
+    const AdmissionDecision d = admission_.admit(
+        options.priority, scheduler_.pending(), tenant_cfgs_[state->tenant],
+        options.deadline_ms, virtual_now_ms_);
     if (!d.admitted) {
       shed = true;
       reason = d.reason;
       ++stats_.shed;
+      ++stats_.tenants[state->tenant].shed;
     } else {
       state->seq = next_seq_++;
       // One ticket covers the whole forward pass; the model's summed
-      // per-layer SpMM width is what the pass costs the graph's DRR
+      // per-layer SpMM width is what the pass costs the queue's DRR
       // budget, so model and plain traffic compete on equal (width) terms.
       scheduler_.enqueue({state->seq, state->graph_key,
                           state->model->plan.total_spmm_width, state->reduce,
-                          priority, /*model=*/true});
+                          options.priority, /*model=*/true, state->tenant});
       pending_states_.emplace(state->seq, state);
       ++stats_.submitted;
+      ++stats_.tenants[state->tenant].submitted;
       ++stats_.model_requests;
     }
   }
@@ -232,13 +354,37 @@ Ticket Engine::submit_model(ModelId id, DenseMatrix features,
     RequestResult res;
     res.status = RequestStatus::Shed;
     res.shed_reason = reason;
-    res.priority = priority;
+    res.priority = options.priority;
+    res.tenant = options.tenant;
+    res.deadline_ms = options.deadline_ms;
+    res.deadline_met = reason != ShedReason::DeadlineExceeded;
     res.batch_size = 0;
     state->fulfill(std::move(res));
     return Ticket(state);
   }
   cv_.notify_one();
   return Ticket(state);
+}
+
+Ticket Engine::submit(GraphId id, DenseMatrix b, ReduceKind reduce) {
+  SubmitOptions options;
+  options.reduce = reduce;
+  return submit(id, std::move(b), options);
+}
+
+Ticket Engine::submit(GraphId id, DenseMatrix b, ReduceKind reduce,
+                      Priority priority) {
+  SubmitOptions options;
+  options.reduce = reduce;
+  options.priority = priority;
+  return submit(id, std::move(b), options);
+}
+
+Ticket Engine::submit_model(ModelId id, DenseMatrix features,
+                            Priority priority) {
+  SubmitOptions options;
+  options.priority = priority;
+  return submit_model(id, std::move(features), options);
 }
 
 void Engine::start() {
@@ -271,6 +417,11 @@ EngineStats Engine::stats() const {
   return st;
 }
 
+double Engine::virtual_now_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return virtual_now_ms_;
+}
+
 void Engine::worker_loop() {
   for (;;) {
     std::vector<std::shared_ptr<detail::RequestState>> batch;
@@ -292,11 +443,41 @@ void Engine::worker_loop() {
     if (batch.front()->model != nullptr) {
       // The scheduler ships model requests as singleton batches.
       execute_model(std::move(batch.front()), device_index);
+    } else if (batch.front()->shards != nullptr) {
+      // A sharded graph spans the whole device group; the round-robin
+      // device pick does not apply.
+      execute_sharded_batch(std::move(batch));
     } else {
       execute_batch(std::move(batch), device_index);
     }
   }
 }
+
+namespace {
+
+/// Column-wise coalesce of a batch's feature matrices:
+/// B_all = [B_1 | B_2 | ...]. Returns a pointer into `storage` (or the
+/// single request's own matrix): column independence of SpMM makes the
+/// split outputs bitwise identical to per-request execution.
+const DenseMatrix* coalesce_features(
+    const std::vector<std::shared_ptr<detail::RequestState>>& batch,
+    index_t b_rows, index_t total_n, DenseMatrix* storage) {
+  if (batch.size() == 1) return &batch.front()->b;
+  *storage = DenseMatrix(b_rows, total_n);
+  index_t col0 = 0;
+  for (const auto& r : batch) {
+    const index_t n_r = r->b.cols();
+    for (index_t i = 0; i < b_rows; ++i) {
+      for (index_t j = 0; j < n_r; ++j) {
+        storage->at(i, col0 + j) = r->b.at(i, j);
+      }
+    }
+    col0 += n_r;
+  }
+  return storage;
+}
+
+}  // namespace
 
 void Engine::execute_batch(std::vector<std::shared_ptr<detail::RequestState>> batch,
                            std::size_t device_index) {
@@ -306,26 +487,8 @@ void Engine::execute_batch(std::vector<std::shared_ptr<detail::RequestState>> ba
 
   index_t total_n = 0;
   for (const auto& r : batch) total_n += r->b.cols();
-
-  // Coalesce the feature matrices column-wise: B_all = [B_1 | B_2 | ...].
-  // Column independence of SpMM makes the split outputs bitwise identical
-  // to per-request execution (row-parallel host kernel, column order kept).
-  const DenseMatrix* b_all = &batch.front()->b;
   DenseMatrix coalesced;
-  if (batch.size() > 1) {
-    coalesced = DenseMatrix(a.cols, total_n);
-    index_t col0 = 0;
-    for (const auto& r : batch) {
-      const index_t n_r = r->b.cols();
-      for (index_t i = 0; i < a.cols; ++i) {
-        for (index_t j = 0; j < n_r; ++j) {
-          coalesced.at(i, col0 + j) = r->b.at(i, j);
-        }
-      }
-      col0 += n_r;
-    }
-    b_all = &coalesced;
-  }
+  const DenseMatrix* b_all = coalesce_features(batch, a.cols, total_n, &coalesced);
 
   // The lease pins the plan for the duration of the batch: an in-flight
   // plan is never evicted, so concurrent same-shape batches hit.
@@ -349,12 +512,21 @@ void Engine::execute_batch(std::vector<std::shared_ptr<detail::RequestState>> ba
     ds.batches += 1;
     ds.modelled_ms += plan->modelled_ms;
     completed_at = ds.modelled_ms;
+    virtual_now_ms_ = std::max(virtual_now_ms_, completed_at);
     (hit ? ds.plan_cache_hits : ds.plan_cache_misses) += 1;
     stats_.completed += batch.size();
     stats_.batches += 1;
     if (batch.size() > 1) stats_.coalesced_requests += batch.size();
     (hit ? stats_.plan_cache_hits : stats_.plan_cache_misses) += 1;
     stats_.modelled_ms += plan->modelled_ms;
+    for (const auto& r : batch) {
+      TenantServeStats& ts = stats_.tenants[r->tenant];
+      ++ts.completed;
+      ts.served_width += static_cast<std::uint64_t>(r->sched_width);
+      if (r->deadline_ms > 0.0 && completed_at > r->deadline_ms) {
+        ++stats_.deadline_missed;
+      }
+    }
   }
 
   index_t col0 = 0;
@@ -370,12 +542,132 @@ void Engine::execute_batch(std::vector<std::shared_ptr<detail::RequestState>> ba
     col0 += n_r;
     res.status = RequestStatus::Ok;
     res.priority = r->priority;
+    res.tenant = r->tenant_name;
     res.algo = plan->algo;
     res.device = dev.name;
     res.modelled_ms = plan->modelled_ms * n_r / total_n;
     res.completed_at_ms = completed_at;
+    res.deadline_ms = r->deadline_ms;
+    res.deadline_met = r->deadline_ms <= 0.0 || completed_at <= r->deadline_ms;
     res.plan_cache_hit = hit;
     res.batch_size = static_cast<int>(batch.size());
+    r->fulfill(std::move(res));
+  }
+}
+
+void Engine::execute_sharded_batch(
+    std::vector<std::shared_ptr<detail::RequestState>> batch) {
+  const ShardPlan& plan = *batch.front()->shards;
+  const Csr& a = *batch.front()->graph;
+  const ReduceKind reduce = batch.front()->reduce;
+  const int num_shards = plan.num_shards();
+
+  index_t total_n = 0;
+  for (const auto& r : batch) total_n += r->b.cols();
+  DenseMatrix coalesced;
+  const DenseMatrix* b_all = coalesce_features(batch, a.cols, total_n, &coalesced);
+
+  // Scatter: shard i executes on devices[i] — all shards in parallel, each
+  // against its own shard-qualified plan. Before a shard's kernel can run
+  // it must gather the B rows it references but does not own (its halo
+  // columns) from peer devices; that transfer is priced against the
+  // modelled interconnect and charged to the shard's device clock, so
+  // scaling honestly pays for the scatter/gather structure.
+  DenseMatrix c_all(a.rows, total_n);
+  std::vector<double> shard_ms(static_cast<std::size_t>(num_shards), 0.0);
+  std::vector<bool> shard_hit(static_cast<std::size_t>(num_shards), false);
+  double gather_total_ms = 0.0;
+  SpmmAlgo algo0 = SpmmAlgo::GeSpMM;
+  bool all_hit = true;
+  for (int si = 0; si < num_shards; ++si) {
+    const GraphShard& shard = plan.shards[static_cast<std::size_t>(si)];
+    const gpusim::DeviceSpec& dev = opt_.devices[static_cast<std::size_t>(si)];
+    const PlanKey key{shard.key, dev.name, total_n, reduce, si};
+    const PlanLease lease = plan_cache_.acquire(key, shard.csr, dev);
+    shard_hit[static_cast<std::size_t>(si)] = lease.hit();
+    all_hit = all_hit && lease.hit();
+    if (si == 0) algo0 = lease->algo;
+
+    // Merge: the shard's rows land directly in their slice of the full
+    // output. Row-parallel SpMM makes this bitwise identical to the
+    // unsharded kernel — same per-row accumulation order, different host.
+    DenseMatrix c_shard(shard.rows(), total_n);
+    kernels::spmm_host_parallel(shard.csr, *b_all, c_shard, reduce);
+    for (index_t i = 0; i < shard.rows(); ++i) {
+      for (index_t j = 0; j < total_n; ++j) {
+        c_all.at(shard.row_begin + i, j) = c_shard.at(i, j);
+      }
+    }
+
+    const double halo_bytes = static_cast<double>(shard.halo_cols) *
+                              static_cast<double>(total_n) * sizeof(value_t);
+    const double gather_ms =
+        halo_bytes / (opt_.sharding.interconnect_gbps * 1e6);
+    gather_total_ms += gather_ms;
+    shard_ms[static_cast<std::size_t>(si)] = lease->modelled_ms + gather_ms;
+  }
+
+  // Account before fulfilling, like execute_batch. Each shard's device
+  // clock advances by its own shard time; the batch completes when the
+  // slowest participating device does (the makespan the scaling bench
+  // measures).
+  double completed_at = 0.0;
+  double makespan_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int si = 0; si < num_shards; ++si) {
+      DeviceServeStats& ds = stats_.devices[static_cast<std::size_t>(si)];
+      ds.requests += batch.size();
+      ds.batches += 1;
+      ds.modelled_ms += shard_ms[static_cast<std::size_t>(si)];
+      completed_at = std::max(completed_at, ds.modelled_ms);
+      makespan_ms =
+          std::max(makespan_ms, shard_ms[static_cast<std::size_t>(si)]);
+      (shard_hit[static_cast<std::size_t>(si)] ? ds.plan_cache_hits
+                                               : ds.plan_cache_misses) += 1;
+      (shard_hit[static_cast<std::size_t>(si)] ? stats_.plan_cache_hits
+                                               : stats_.plan_cache_misses) += 1;
+      stats_.modelled_ms += shard_ms[static_cast<std::size_t>(si)];
+    }
+    virtual_now_ms_ = std::max(virtual_now_ms_, completed_at);
+    stats_.completed += batch.size();
+    stats_.batches += 1;
+    stats_.shard_launches += static_cast<std::uint64_t>(num_shards);
+    stats_.gather_ms += gather_total_ms;
+    if (batch.size() > 1) stats_.coalesced_requests += batch.size();
+    for (const auto& r : batch) {
+      TenantServeStats& ts = stats_.tenants[r->tenant];
+      ++ts.completed;
+      ts.served_width += static_cast<std::uint64_t>(r->sched_width);
+      if (r->deadline_ms > 0.0 && completed_at > r->deadline_ms) {
+        ++stats_.deadline_missed;
+      }
+    }
+  }
+
+  index_t col0 = 0;
+  for (const auto& r : batch) {
+    const index_t n_r = r->b.cols();
+    RequestResult res;
+    res.c = DenseMatrix(a.rows, n_r);
+    for (index_t i = 0; i < a.rows; ++i) {
+      for (index_t j = 0; j < n_r; ++j) {
+        res.c.at(i, j) = c_all.at(i, col0 + j);
+      }
+    }
+    col0 += n_r;
+    res.status = RequestStatus::Ok;
+    res.priority = r->priority;
+    res.tenant = r->tenant_name;
+    res.algo = algo0;
+    res.device = opt_.devices.front().name;
+    res.modelled_ms = makespan_ms * n_r / total_n;
+    res.completed_at_ms = completed_at;
+    res.deadline_ms = r->deadline_ms;
+    res.deadline_met = r->deadline_ms <= 0.0 || completed_at <= r->deadline_ms;
+    res.plan_cache_hit = all_hit;
+    res.batch_size = static_cast<int>(batch.size());
+    res.shards = num_shards;
     r->fulfill(std::move(res));
   }
 }
@@ -427,6 +719,7 @@ void Engine::execute_model(std::shared_ptr<detail::RequestState> state,
     ds.batches += 1;
     ds.modelled_ms += fused_ms;
     completed_at = ds.modelled_ms;
+    virtual_now_ms_ = std::max(virtual_now_ms_, completed_at);
     ds.plan_cache_hits += layer_hits;
     ds.plan_cache_misses += layer_misses;
     stats_.completed += 1;
@@ -435,17 +728,27 @@ void Engine::execute_model(std::shared_ptr<detail::RequestState> state,
     stats_.plan_cache_misses += layer_misses;
     stats_.modelled_ms += fused_ms;
     stats_.fused_saved_ms += composed_ms - fused_ms;
+    TenantServeStats& ts = stats_.tenants[state->tenant];
+    ++ts.completed;
+    ts.served_width += static_cast<std::uint64_t>(state->sched_width);
+    if (state->deadline_ms > 0.0 && completed_at > state->deadline_ms) {
+      ++stats_.deadline_missed;
+    }
   }
 
   RequestResult res;
   res.status = RequestStatus::Ok;
   res.priority = state->priority;
+  res.tenant = state->tenant_name;
   res.c = std::move(h);
   res.algo = algo;
   res.device = dev.name;
   res.modelled_ms = fused_ms;
   res.composed_ms = composed_ms;
   res.completed_at_ms = completed_at;
+  res.deadline_ms = state->deadline_ms;
+  res.deadline_met =
+      state->deadline_ms <= 0.0 || completed_at <= state->deadline_ms;
   res.plan_cache_hit = layer_misses == 0;
   res.batch_size = 1;
   res.model_layers = static_cast<int>(m.plan.layers.size());

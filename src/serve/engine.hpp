@@ -1,26 +1,38 @@
 #pragma once
 /// \file engine.hpp
 /// The batched SpMM serving engine: concurrent submit/wait execution of
-/// SpMM requests with admission control, cross-graph fair scheduling,
-/// plan-cache reuse and same-graph batching.
+/// SpMM requests with multi-tenant admission control, deadline shedding,
+/// cross-graph weighted-fair scheduling, plan-cache reuse, same-graph
+/// batching, and cross-device sharding of oversized graphs.
 ///
 /// Request lifecycle:
 ///  1. `register_graph` fingerprints a CSR operand and stores it once
-///     (re-registering an identical operand returns the existing handle);
-///  2. `submit` checks admission (see admission.hpp): a shed request's
-///     ticket completes *immediately* with `RequestStatus::Shed` and a
-///     typed `ShedReason`; an admitted request enters its graph's
-///     scheduler queue and returns a pending `Ticket`;
-///  3. worker threads pull batches from the scheduler (deficit
-///     round-robin across graphs by default, see scheduler.hpp),
-///     coalescing same-graph same-reduce requests into one multi-feature
-///     SpMM and round-robining batches across the configured simulated
-///     devices;
+///     (re-registering an identical operand returns the existing handle).
+///     An operand whose footprint exceeds the device capacity is
+///     row-partitioned across the whole device group at registration time
+///     (see shard.hpp and `ShardingOptions`);
+///  2. `submit` takes a `SubmitOptions` aggregate (reduce, priority,
+///     tenant, deadline) and checks admission (see admission.hpp): a shed
+///     request's ticket completes *immediately* with
+///     `RequestStatus::Shed` and a typed `ShedReason` — including
+///     `DeadlineExceeded` when the deadline already passed on the virtual
+///     clock; an admitted request enters its (graph, tenant) scheduler
+///     queue and returns a pending `Ticket`;
+///  3. worker threads pull batches from the scheduler (weighted deficit
+///     round-robin across (graph, tenant) queues by default, each
+///     tenant's width-credit quantum proportional to its configured
+///     share — see scheduler.hpp), coalescing same-graph same-reduce
+///     same-tenant requests into one multi-feature SpMM and
+///     round-robining batches across the configured simulated devices;
 ///  4. each batch executes through a `PlanCache`d kernel plan (LRU-
 ///     bounded, pinned while the batch is in flight): values are computed
 ///     on the host (bitwise identical to per-request `gespmm::spmm`,
 ///     column order is preserved), device time is the plan's
-///     block-sampled modelled time;
+///     block-sampled modelled time. A batch on a *sharded* graph runs
+///     scatter/gather instead: every shard's slice executes on its own
+///     device in parallel (each with its own shard-qualified plan), halo
+///     rows of B are priced as a modelled interconnect gather, and the
+///     merged output is bitwise identical to the unsharded kernel;
 ///  5. `Ticket::wait` blocks for the request's `RequestResult`.
 ///
 /// Model serving (`register_model` / `submit_model`) promotes the unit of
@@ -32,15 +44,17 @@
 /// the ticket at the model's total SpMM width. Model requests never
 /// coalesce with other requests; output values are bitwise identical to
 /// composing per-layer `submit` calls with the host-side dense
-/// transforms, only the modelled time differs (the fusion win).
+/// transforms, only the modelled time differs (the fusion win). Models
+/// aggregate over one device's resident CSR, so they cannot (yet) be
+/// registered against a sharded graph.
 ///
 /// Ticket contract for shed requests: `wait()` NEVER throws and never
 /// blocks — it returns a `RequestResult` with `status ==
 /// RequestStatus::Shed`, the shedding `ShedReason`, and an empty (0 x 0)
 /// output matrix. Callers distinguish outcomes by `status`, not by
 /// exception. (`submit` itself still throws std::runtime_error once the
-/// engine is shut down, and std::invalid_argument for malformed input —
-/// those are caller errors, not load conditions.)
+/// engine is shut down, and std::invalid_argument for malformed input or
+/// an unknown tenant — those are caller errors, not load conditions.)
 ///
 /// `shutdown()` (also run by the destructor) stops admission, drains every
 /// *admitted* request, and joins the workers — no admitted request is
@@ -51,6 +65,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -60,15 +75,32 @@
 #include "serve/model_plan.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/shard.hpp"
 
 namespace gespmm::serve {
 
 using kernels::DenseMatrix;
 
+/// When and how `register_graph` shards an oversized operand across the
+/// device group. Sharding triggers only when the operand does not fit one
+/// device, so small-graph behaviour is bitwise unchanged.
+struct ShardingOptions {
+  /// Per-device CSR residency budget in bytes. 0 (the default) means the
+  /// smallest `DeviceSpec::dram_bytes` across the configured devices —
+  /// with the stock presets that is gigabytes, so only genuinely huge
+  /// operands shard. Tests and benches set a small explicit budget to
+  /// force sharding at their scale.
+  std::size_t device_capacity_bytes = 0;
+  /// Modelled bandwidth (GB/s) of the device interconnect the gather
+  /// stage moves halo rows of B over. NVLink-class by default.
+  double interconnect_gbps = 300.0;
+};
+
 /// Engine configuration.
 struct ServeOptions {
   /// Simulated devices batches round-robin across (default: both of the
-  /// paper's machines, GTX 1080Ti and RTX 2080).
+  /// paper's machines, GTX 1080Ti and RTX 2080). A sharded graph spans
+  /// *all* of them: shard i executes on devices[i].
   std::vector<gpusim::DeviceSpec> devices;
   /// Worker threads draining the queue.
   int num_workers = 2;
@@ -76,16 +108,48 @@ struct ServeOptions {
   BatchConstraints batch;
   /// Plan construction + retention policy (see plan_cache.hpp).
   PlanCacheOptions plan;
-  /// Admission bounds and per-class shed thresholds (see admission.hpp).
+  /// Engine-wide admission queue bound (see admission.hpp; per-tenant
+  /// shed thresholds live in `tenants`).
   AdmissionOptions admission;
-  /// Cross-graph scheduling policy (see scheduler.hpp).
+  /// Cross-queue scheduling policy (see scheduler.hpp). Its
+  /// `tenant_shares` vector is filled by the engine from `tenants`.
   SchedulerOptions scheduler;
+  /// The tenant roster: service contracts keyed by tenant name. Requests
+  /// name their tenant in `SubmitOptions::tenant`; submitting under an
+  /// unregistered name throws. Defaults to a single "default" tenant with
+  /// share 1.0 and the classic shed fractions, which reproduces the
+  /// previous single-tenant behaviour bitwise. Shares must be positive
+  /// and finite (validated at engine construction).
+  std::map<std::string, TenantConfig> tenants;
+  /// Cross-device sharding policy for oversized graphs.
+  ShardingOptions sharding;
   /// Construct with workers parked: nothing executes until `start()` (or
   /// `shutdown()`, which drains). Deterministic harnesses use this to
   /// fix batch composition independent of submission timing.
   bool start_paused = false;
 
-  ServeOptions();  // defaults to {gtx1080ti, rtx2080}
+  ServeOptions();  // defaults to {gtx1080ti, rtx2080} + a "default" tenant
+};
+
+/// Per-request submission parameters — one aggregate for `submit` and
+/// `submit_model` instead of growing positional-default tails. Use
+/// designated initializers at call sites:
+/// `eng.submit(id, b, {.priority = Priority::Batch, .deadline_ms = 5.0})`.
+struct SubmitOptions {
+  /// Reduction of the SpMM-like operation (ignored by `submit_model`,
+  /// which takes its reduce from the registered model spec).
+  ReduceKind reduce = ReduceKind::Sum;
+  /// Service class for admission and in-queue ordering.
+  Priority priority = Priority::Interactive;
+  /// Tenant the request bills to; must name an entry of
+  /// `ServeOptions::tenants` or `submit` throws std::invalid_argument.
+  std::string tenant = "default";
+  /// Absolute virtual-clock completion deadline in ms; 0 = no deadline.
+  /// A request whose deadline is at or before the clock at submit time is
+  /// shed with `ShedReason::DeadlineExceeded`; one that completes later
+  /// than its deadline reports `RequestResult::deadline_met == false`
+  /// (completing exactly *at* the deadline counts as met).
+  double deadline_ms = 0.0;
 };
 
 /// Handle to a registered graph; cheap to copy, valid for the engine's
@@ -128,27 +192,42 @@ struct RequestResult {
   ShedReason shed_reason = ShedReason::None;
   /// Service class the request was submitted with.
   Priority priority = Priority::Interactive;
+  /// Tenant the request was billed to.
+  std::string tenant;
   /// Aggregated output, rows x n, row-major — bitwise identical to what
-  /// `gespmm::spmm` would have produced for this request alone. Empty
-  /// when the request was shed.
+  /// `gespmm::spmm` would have produced for this request alone (sharded
+  /// or not). Empty when the request was shed.
   DenseMatrix c;
-  /// Kernel the serving plan selected for the *batch* this request rode in.
+  /// Kernel the serving plan selected for the *batch* this request rode
+  /// in (shard 0's plan for a sharded graph).
   SpmmAlgo algo = SpmmAlgo::GeSpMM;
-  /// Device preset name the batch was dispatched to.
+  /// Device preset name the batch was dispatched to (the first shard
+  /// device for a sharded graph — see `shards`).
   std::string device;
   /// This request's width-proportional share of the batch's modelled
   /// kernel time (ms), priced at the plan's (quantized) width — see
-  /// PlanCacheOptions::width_quantum.
+  /// PlanCacheOptions::width_quantum. For a sharded batch this is the
+  /// width share of the *makespan* (slowest shard incl. its gather).
   double modelled_ms = 0.0;
   /// The dispatched device's cumulative modelled time (ms) when this
   /// request's batch finished — a deterministic virtual-clock completion
-  /// stamp, the quantity latency percentiles are computed over.
+  /// stamp, the quantity latency percentiles are computed over. For a
+  /// sharded batch: the busiest participating device's clock.
   double completed_at_ms = 0.0;
-  /// Whether the batch's plan came out of the cache.
+  /// The deadline the request was submitted with (0 = none).
+  double deadline_ms = 0.0;
+  /// True when the request had no deadline or completed at or before it
+  /// (`completed_at_ms <= deadline_ms`). False for a completed-late
+  /// request and for a deadline-shed one.
+  bool deadline_met = true;
+  /// Whether the batch's plan came out of the cache (all shard plans, for
+  /// a sharded batch).
   bool plan_cache_hit = false;
   /// Number of requests coalesced into the batch (1 = ran alone; 0 for a
   /// shed request).
   int batch_size = 1;
+  /// Device shards the batch scattered across (0 = unsharded).
+  int shards = 0;
   /// For a `submit_model` ticket: layers the fused forward pass ran
   /// (0 for a plain SpMM request). `c` is then the num_nodes x out_feats
   /// output of the last layer and `modelled_ms` the *fused* whole-pass
@@ -166,11 +245,20 @@ struct RequestState {
   std::uint64_t graph_key = 0;
   std::uint64_t seq = 0;
   std::shared_ptr<const Csr> graph;
+  /// Set when the graph is sharded: the execution plan for the scatter/
+  /// gather path.
+  std::shared_ptr<const ShardPlan> shards;
   /// Set for whole-model requests (`b` is then the input feature matrix).
   std::shared_ptr<const RegisteredModel> model;
   DenseMatrix b;
   ReduceKind reduce = ReduceKind::Sum;
   Priority priority = Priority::Interactive;
+  std::uint32_t tenant = 0;
+  std::string tenant_name;
+  double deadline_ms = 0.0;
+  /// Width the scheduler billed (b.cols, or the model's total SpMM
+  /// width) — the per-tenant served_width currency.
+  index_t sched_width = 0;
 
   std::mutex mu;
   std::condition_variable cv;
@@ -208,24 +296,63 @@ class Ticket {
 /// Per-device dispatch counters.
 struct DeviceServeStats {
   std::string device;
+  /// Requests whose work ran on this device. A sharded request counts on
+  /// every participating device (its shards all ran), so across devices
+  /// these sum to >= `EngineStats::completed` when sharding is active.
   std::uint64_t requests = 0;
+  /// Batch (or shard) kernel launches dispatched to this device.
   std::uint64_t batches = 0;
   std::uint64_t plan_cache_hits = 0;
   std::uint64_t plan_cache_misses = 0;
-  /// Sum of modelled batch kernel times dispatched to this device (ms).
+  /// Sum of modelled batch kernel times dispatched to this device (ms),
+  /// including modelled gather time for shard launches — this device's
+  /// virtual clock.
   double modelled_ms = 0.0;
 };
 
+/// Per-tenant service counters, in `ServeOptions::tenants` (sorted-name)
+/// order.
+struct TenantServeStats {
+  std::string tenant;
+  /// Configured DRR share.
+  double share = 1.0;
+  /// Requests admitted for this tenant.
+  std::uint64_t submitted = 0;
+  /// Requests completed (executed) for this tenant.
+  std::uint64_t completed = 0;
+  /// Requests shed at admission for this tenant.
+  std::uint64_t shed = 0;
+  /// Summed width of completed requests — the weighted-DRR fairness
+  /// currency, proportional to `share` across backlogged tenants.
+  std::uint64_t served_width = 0;
+};
+
 /// Snapshot of engine-wide counters (consistent: taken under one lock).
+///
+/// Counting contract (pinned by the EngineStatsCountingContract golden):
+///  - `submitted`, `completed`, `shed` count *requests*, each exactly
+///    once: every submit/submit_model call lands in exactly one of
+///    `submitted` (admitted) or `shed` (rejected), and every admitted
+///    request is eventually counted once in `completed`.
+///  - `model_requests` is a *view*, not a disjoint bucket: the subset of
+///    `submitted` that came through submit_model. Plain-SpMM admits are
+///    therefore `submitted - model_requests`. Nothing is double-counted.
+///  - `admission.total_admitted() == submitted` and
+///    `admission.total_shed() == shed` always.
+///  - Per-tenant rows in `tenants` partition the same totals.
 struct EngineStats {
   std::uint64_t graphs_registered = 0;
   /// register_graph() calls answered by an already-registered operand.
   std::uint64_t register_dedup_hits = 0;
+  /// Registered graphs that were row-partitioned across the device group.
+  std::uint64_t graphs_sharded = 0;
   std::uint64_t models_registered = 0;
   /// register_model() calls answered by an identical registered model.
   std::uint64_t model_register_dedup_hits = 0;
-  /// Whole-model requests admitted via submit_model (a subset of
-  /// `submitted`; each completes as one single-request batch).
+  /// Whole-model requests admitted via submit_model — a subset of
+  /// `submitted` (each such request is counted once in both; see the
+  /// counting contract above). Each completes as one single-request
+  /// batch.
   std::uint64_t model_requests = 0;
   /// Total modelled time fusion saved versus layer-by-layer composition
   /// across all completed model requests (sum of composed - fused, ms).
@@ -240,17 +367,29 @@ struct EngineStats {
   std::uint64_t batches = 0;
   /// Requests that shared their batch with at least one other request.
   std::uint64_t coalesced_requests = 0;
+  /// Completed requests that finished after their deadline (deadline-shed
+  /// requests never ran and are in `admission.shed_deadline` instead).
+  std::uint64_t deadline_missed = 0;
+  /// Shard kernel launches (a batch on an S-way sharded graph adds S).
+  std::uint64_t shard_launches = 0;
+  /// Total modelled interconnect time gathering halo rows of B for shard
+  /// launches (ms); included in `modelled_ms`.
+  double gather_ms = 0.0;
   std::uint64_t plan_cache_hits = 0;
   std::uint64_t plan_cache_misses = 0;
   /// Total modelled device time across all batches (ms) — the serving
-  /// cost metric bench_serve_throughput compares across policies.
+  /// cost metric bench_serve_throughput compares across policies. Equals
+  /// the sum of the per-device clocks; concurrent-device wall time is the
+  /// *busiest* device's clock (the makespan), not this sum.
   double modelled_ms = 0.0;
   /// One entry per configured device, in ServeOptions::devices order.
   std::vector<DeviceServeStats> devices;
   /// Per-class admission counters.
   AdmissionStats admission;
-  /// Per-graph scheduling counters (served/deferred/pending), in
-  /// first-submission order.
+  /// Per-tenant counters, in sorted tenant-name order.
+  std::vector<TenantServeStats> tenants;
+  /// Per-(graph, tenant) scheduling counters (served/deferred/pending),
+  /// in first-submission order.
   std::vector<GraphServeStats> graphs;
 };
 
@@ -265,23 +404,41 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Validate + fingerprint `a` and store it (one copy per distinct
-  /// operand; identical re-registrations dedup). Throws std::runtime_error
-  /// on malformed CSR.
+  /// operand; identical re-registrations dedup). An operand larger than
+  /// the per-device capacity (see ShardingOptions) is row-partitioned
+  /// across all configured devices; throws std::runtime_error when it
+  /// cannot be made to fit (single device, or a shard still oversized).
+  /// Throws std::runtime_error on malformed CSR.
   GraphId register_graph(const Csr& a);
 
   /// The registered operand for `id`. Throws std::invalid_argument for an
   /// unknown handle.
   std::shared_ptr<const Csr> graph(GraphId id) const;
 
+  /// The shard plan for `id`, or nullptr when the graph fits one device
+  /// and is served unsharded. Throws std::invalid_argument for an unknown
+  /// handle.
+  std::shared_ptr<const ShardPlan> shard_plan(GraphId id) const;
+
   /// Compile `spec` against a registered graph into an execution plan and
   /// store it (content-identical re-registrations dedup, like graphs).
-  /// Throws std::invalid_argument for an unknown graph handle or a spec
-  /// whose layer shapes do not chain.
+  /// Throws std::invalid_argument for an unknown graph handle, a spec
+  /// whose layer shapes do not chain, or a sharded graph (models need the
+  /// whole operand resident on one device).
   ModelId register_model(GraphId graph, ModelSpec spec);
 
   /// The registered model for `id` (plan + parameters + graph). Throws
   /// std::invalid_argument for an unknown handle.
   std::shared_ptr<const RegisteredModel> model(ModelId id) const;
+
+  /// Enqueue C = A(id) (*) b under the given submission options. `b` must
+  /// have A.cols rows and be row-major. Throws std::invalid_argument on
+  /// shape/layout mismatch, unknown handle or unknown tenant,
+  /// std::runtime_error after shutdown. Under load (or past its deadline)
+  /// the request may be shed instead of queued: the returned ticket is
+  /// then already complete with RequestStatus::Shed (see the file comment
+  /// for the full ticket contract).
+  Ticket submit(GraphId id, DenseMatrix b, const SubmitOptions& options = {});
 
   /// Enqueue one whole forward pass of model `id` over `features`
   /// (num_nodes x in_feats, row-major) — one ticket covers every layer,
@@ -289,18 +446,23 @@ class Engine {
   /// intermediate-buffer reuse. The request flows through the same
   /// admission control and scheduler as plain submits, costed at the
   /// model's total SpMM width; it never coalesces with other requests.
-  /// Same exception/shed contract as `submit`.
+  /// `options.reduce` is ignored (the model spec owns its reduce). Same
+  /// exception/shed contract as `submit`.
   Ticket submit_model(ModelId id, DenseMatrix features,
-                      Priority priority = Priority::Interactive);
+                      const SubmitOptions& options = {});
 
-  /// Enqueue C = A(id) (*) b at the given service class. `b` must have
-  /// A.cols rows and be row-major. Throws std::invalid_argument on
-  /// shape/layout mismatch or unknown handle, std::runtime_error after
-  /// shutdown. Under load the request may be shed instead of queued: the
-  /// returned ticket is then already complete with RequestStatus::Shed
-  /// (see the file comment for the full ticket contract).
-  Ticket submit(GraphId id, DenseMatrix b, ReduceKind reduce = ReduceKind::Sum,
-                Priority priority = Priority::Interactive);
+  /// \deprecated Positional-tail form; forwards to the SubmitOptions
+  /// overload. Will be removed one release after the SubmitOptions API.
+  [[deprecated("use submit(id, b, SubmitOptions{.reduce = ...})")]]
+  Ticket submit(GraphId id, DenseMatrix b, ReduceKind reduce);
+  /// \deprecated See above.
+  [[deprecated(
+      "use submit(id, b, SubmitOptions{.reduce = ..., .priority = ...})")]]
+  Ticket submit(GraphId id, DenseMatrix b, ReduceKind reduce,
+                Priority priority);
+  /// \deprecated See above.
+  [[deprecated("use submit_model(id, features, SubmitOptions{.priority = ...})")]]
+  Ticket submit_model(ModelId id, DenseMatrix features, Priority priority);
 
   /// Launch the worker threads (no-op when already running). Only needed
   /// after constructing with `start_paused`.
@@ -313,19 +475,37 @@ class Engine {
   /// Consistent snapshot of all counters.
   EngineStats stats() const;
 
+  /// The engine's current virtual clock (ms): the busiest device's
+  /// cumulative modelled time. Deadlines are judged against this.
+  double virtual_now_ms() const;
+
   /// The engine's plan cache (hit/miss/eviction/residency introspection).
   const PlanCache& plan_cache() const { return plan_cache_; }
 
   const ServeOptions& options() const { return opt_; }
 
  private:
+  /// A registered operand: the full CSR plus its shard plan when the
+  /// operand exceeds one device's capacity.
+  struct RegisteredGraph {
+    std::shared_ptr<const Csr> csr;
+    std::shared_ptr<const ShardPlan> shards;  // nullptr when unsharded
+  };
+
   void worker_loop();
   void execute_batch(std::vector<std::shared_ptr<detail::RequestState>> batch,
                      std::size_t device_index);
+  void execute_sharded_batch(
+      std::vector<std::shared_ptr<detail::RequestState>> batch);
   void execute_model(std::shared_ptr<detail::RequestState> state,
                      std::size_t device_index);
+  /// Tenant index for `name`; throws std::invalid_argument when unknown.
+  std::uint32_t tenant_index(const std::string& name) const;
 
   ServeOptions opt_;
+  /// Tenant contracts in sorted-name order (index = scheduler tenant id).
+  std::vector<std::string> tenant_names_;
+  std::vector<TenantConfig> tenant_cfgs_;
   PlanCache plan_cache_;
 
   mutable std::mutex mu_;
@@ -339,13 +519,17 @@ class Engine {
   bool started_ = false;
   bool shutting_down_ = false;
   std::size_t next_device_ = 0;
+  /// The virtual clock deadlines are judged against: max over the
+  /// per-device cumulative modelled times (guarded by mu_).
+  double virtual_now_ms_ = 0.0;
 
   // Graph registry (guarded by mu_).
-  std::map<std::uint64_t, std::shared_ptr<const Csr>> graphs_;
+  std::map<std::uint64_t, RegisteredGraph> graphs_;
   // Model registry, keyed by ModelPlan::key (guarded by mu_).
   std::map<std::uint64_t, std::shared_ptr<const RegisteredModel>> models_;
 
-  // Counters (guarded by mu_).
+  // Counters (guarded by mu_). stats_.tenants carries the live per-tenant
+  // counters (name/share filled at construction).
   EngineStats stats_;
 };
 

@@ -36,7 +36,9 @@ using kernels::SpmmAlgo;
 
 /// Cache key: everything algorithm selection depends on.
 struct PlanKey {
-  /// GraphFingerprint::key() of the registered operand.
+  /// GraphFingerprint::key() of the registered operand — for a shard plan,
+  /// of the shard's CSR slice (see GraphShard::key), so identical slices
+  /// share a plan whatever graph they came from.
   std::uint64_t graph = 0;
   /// Device preset name ("gtx1080ti" / "rtx2080").
   std::string device;
@@ -44,6 +46,10 @@ struct PlanKey {
   index_t n = 0;
   /// Reduction of the SpMM-like operation.
   ReduceKind reduce = ReduceKind::Sum;
+  /// Shard index when the graph is row-partitioned across a device group
+  /// (see shard.hpp): each shard's CSR slice autotunes separately, so the
+  /// key must tell them apart. -1 = the whole, unsharded operand.
+  std::int32_t shard = -1;
 
   auto operator<=>(const PlanKey&) const = default;
 };

@@ -1,6 +1,7 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace gespmm::serve {
@@ -14,23 +15,41 @@ const char* schedule_policy_name(SchedulePolicy p) {
 }
 
 Scheduler::Scheduler(SchedulerOptions opt, BatchConstraints limits)
-    : opt_(opt), limits_(limits) {
+    : opt_(std::move(opt)), limits_(limits) {
   if (opt_.quantum < 1) {
     throw std::invalid_argument("Scheduler: quantum must be at least 1");
   }
   if (limits_.max_batch_requests < 1) {
     throw std::invalid_argument("Scheduler: max_batch_requests must be at least 1");
   }
+  for (const double s : opt_.tenant_shares) {
+    if (!(s > 0.0) || !std::isfinite(s)) {
+      throw std::invalid_argument("Scheduler: tenant shares must be positive");
+    }
+  }
+}
+
+index_t Scheduler::weighted_grant(std::uint32_t tenant) const {
+  double share = 1.0;
+  if (tenant < opt_.tenant_shares.size()) share = opt_.tenant_shares[tenant];
+  // llround keeps the grant deterministic across platforms; a sub-1 share
+  // can never starve (grant floor of one column per visit).
+  const auto grant = static_cast<index_t>(
+      std::llround(static_cast<double>(opt_.quantum) * share));
+  return std::max<index_t>(grant, 1);
 }
 
 void Scheduler::enqueue(const SchedRequest& r) {
-  auto [it, created] = queues_.try_emplace(r.graph);
+  const QueueKey key{r.graph, r.tenant};
+  auto [it, created] = queues_.try_emplace(key);
   GraphQueue& gq = it->second;
   if (created) {
     gq.stats.graph = r.graph;
-    seen_order_.push_back(r.graph);
+    gq.stats.tenant = r.tenant;
+    gq.grant = weighted_grant(r.tenant);
+    seen_order_.push_back(key);
   }
-  if (gq.pending == 0) ring_.push_back(r.graph);
+  if (gq.pending == 0) ring_.push_back(key);
   // Requests always land in their priority class; Fifo restores the v1
   // priority-blind order at pick time by sorting candidates on seq, so
   // both policies see one queue shape (and one invariant: each class
@@ -113,60 +132,60 @@ std::vector<std::uint64_t> Scheduler::serve_from(GraphQueue& gq, index_t allowed
   return seqs;
 }
 
-void Scheduler::deactivate(std::uint64_t graph) {
-  const auto it = std::find(ring_.begin(), ring_.end(), graph);
+void Scheduler::deactivate(const QueueKey& key) {
+  const auto it = std::find(ring_.begin(), ring_.end(), key);
   const auto idx = static_cast<std::size_t>(it - ring_.begin());
   ring_.erase(it);
   if (idx < cursor_) --cursor_;
   if (cursor_ >= ring_.size()) cursor_ = 0;
 }
 
-index_t Scheduler::deficit_cap(index_t head_n) const {
-  const index_t cap = opt_.max_deficit > 0 ? opt_.max_deficit : 4 * opt_.quantum;
+index_t Scheduler::deficit_cap(index_t grant, index_t head_n) const {
+  const index_t cap = opt_.max_deficit > 0 ? opt_.max_deficit : 4 * grant;
   return std::max(cap, head_n);
 }
 
 std::vector<std::uint64_t> Scheduler::next_batch_fifo() {
   // The globally oldest pending request anchors, wherever it lives — and
-  // it may sit in any priority class: a graph whose interactive deque is
+  // it may sit in any priority class: a queue whose interactive deque is
   // empty still has batch/best-effort work pending. (Blindly reading
   // q[0].front() here was undefined behavior on exactly that shape, and
   // even with q[0] non-empty it anchored on the oldest *interactive*
   // request, not the oldest request.) Each class deque is seq-sorted, so
-  // the per-graph oldest is the minimum over non-empty class fronts.
-  std::uint64_t best_graph = 0;
+  // the per-queue oldest is the minimum over non-empty class fronts.
+  QueueKey best_key{0, 0};
   std::uint64_t best_seq = 0;
   index_t best_n = 0;
   bool found = false;
-  for (const std::uint64_t g : ring_) {
-    for (const auto& dq : queues_.at(g).q) {
+  for (const QueueKey& k : ring_) {
+    for (const auto& dq : queues_.at(k).q) {
       if (dq.empty()) continue;
       if (!found || dq.front().seq < best_seq) {
-        best_graph = g;
+        best_key = k;
         best_seq = dq.front().seq;
         best_n = dq.front().n;
         found = true;
       }
     }
   }
-  GraphQueue& gq = queues_.at(best_graph);
+  GraphQueue& gq = queues_.at(best_key);
   index_t total = 0;
   auto seqs = serve_from(gq, std::max(limits_.max_batch_n, best_n), &total,
                          /*fifo_order=*/true);
-  if (gq.pending == 0) deactivate(best_graph);
+  if (gq.pending == 0) deactivate(best_key);
   return seqs;
 }
 
 std::vector<std::uint64_t> Scheduler::next_batch_drr() {
   for (;;) {
     if (cursor_ >= ring_.size()) cursor_ = 0;
-    const std::uint64_t graph = ring_[cursor_];
-    GraphQueue& gq = queues_.at(graph);
+    const QueueKey key = ring_[cursor_];
+    GraphQueue& gq = queues_.at(key);
     const Item& head = head_of(gq);
-    gq.deficit = std::min(gq.deficit + opt_.quantum, deficit_cap(head.n));
+    gq.deficit = std::min(gq.deficit + gq.grant, deficit_cap(gq.grant, head.n));
     if (gq.deficit < head.n) {
-      // Not enough credit yet; the next rotation adds another quantum,
-      // so this head ships after at most ceil(n / quantum) rotations.
+      // Not enough credit yet; the next rotation adds another grant,
+      // so this head ships after at most ceil(n / grant) rotations.
       ++gq.stats.deferred;
       ++cursor_;
       continue;
@@ -178,7 +197,7 @@ std::vector<std::uint64_t> Scheduler::next_batch_drr() {
     gq.deficit = std::max<index_t>(gq.deficit - total, 0);
     if (gq.pending == 0) {
       gq.deficit = 0;  // credit does not survive idleness
-      deactivate(graph);
+      deactivate(key);
     } else {
       ++cursor_;  // one batch per visit, then move on
     }
@@ -195,8 +214,8 @@ std::vector<std::uint64_t> Scheduler::next_batch() {
 std::vector<GraphServeStats> Scheduler::stats() const {
   std::vector<GraphServeStats> out;
   out.reserve(seen_order_.size());
-  for (const std::uint64_t g : seen_order_) {
-    const GraphQueue& gq = queues_.at(g);
+  for (const QueueKey& k : seen_order_) {
+    const GraphQueue& gq = queues_.at(k);
     GraphServeStats st = gq.stats;
     st.pending = gq.pending;
     out.push_back(st);

@@ -212,7 +212,7 @@ TEST(ServeEngine, SpmmLikeReductionsCoalesceAndMatch) {
 
   for (auto kind : {kernels::ReduceKind::Max, kernels::ReduceKind::Mean}) {
     DenseMatrix b = features(a.cols, 20, 930);
-    Ticket t = eng.submit(id, b, kind);
+    Ticket t = eng.submit(id, b, {.reduce = kind});
     const auto& res = t.wait();
     DenseMatrix want(a.rows, 20);
     spmm(a, b, want, kind);
@@ -429,6 +429,37 @@ TEST(ServeEngine, SubmitValidatesShapesAndHandles) {
   eng.shutdown();
   EXPECT_EQ(ok.wait().c.rows(), 32);
 }
+
+// The positional-tail submit overloads stay one release for migration;
+// they must keep forwarding faithfully to the SubmitOptions path until
+// they are removed. (In-tree callers have all moved — this coverage is
+// the only sanctioned use.)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(ServeEngine, DeprecatedPositionalOverloadsForwardFaithfully) {
+  Engine eng(deterministic_opts());
+  const Csr a = testutil::zoo_empty_rows();
+  const GraphId id = eng.register_graph(a);
+
+  Ticket t_reduce = eng.submit(id, features(a.cols, 4, 996),
+                               kernels::ReduceKind::Max);
+  Ticket t_prio = eng.submit(id, features(a.cols, 4, 997),
+                             kernels::ReduceKind::Mean,
+                             serve::Priority::Batch);
+  Ticket t_new = eng.submit(id, features(a.cols, 4, 997),
+                            {.reduce = kernels::ReduceKind::Mean,
+                             .priority = serve::Priority::Batch});
+  eng.shutdown();
+
+  DenseMatrix want_max(a.rows, 4);
+  spmm(a, features(a.cols, 4, 996), want_max, kernels::ReduceKind::Max);
+  EXPECT_EQ(t_reduce.wait().c.max_abs_diff(want_max), 0.0);
+
+  EXPECT_EQ(t_prio.wait().priority, serve::Priority::Batch);
+  EXPECT_EQ(t_prio.wait().c.max_abs_diff(t_new.wait().c), 0.0)
+      << "positional and SubmitOptions paths must serve identical results";
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace gespmm

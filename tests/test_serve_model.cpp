@@ -59,12 +59,12 @@ DenseMatrix composed_forward(Engine& engine, GraphId gid,
     if (s.transform_first) {
       DenseMatrix t(h.rows(), s.out_width);
       serve::gemm(h, w, t);
-      const Ticket tk = engine.submit(gid, std::move(t), s.reduce);
+      const Ticket tk = engine.submit(gid, std::move(t), {.reduce = s.reduce});
       DenseMatrix z = tk.wait().c;
       serve::bias_act(z, b, s.relu);
       h = std::move(z);
     } else {
-      const Ticket tk = engine.submit(gid, DenseMatrix(h), s.reduce);
+      const Ticket tk = engine.submit(gid, DenseMatrix(h), {.reduce = s.reduce});
       DenseMatrix out(h.rows(), s.out_width);
       serve::dense_transform(tk.wait().c, w, b, s.relu, out);
       h = std::move(out);

@@ -461,7 +461,7 @@ TEST(ServeSchedulerEngine, ShedTicketContractIsStatusNotThrow) {
   const GraphId id = eng.register_graph(a);
 
   auto submit = [&](Priority p) {
-    return eng.submit(id, features(a.cols, 8, 811), ReduceKind::Sum, p);
+    return eng.submit(id, features(a.cols, 8, 811), {.priority = p});
   };
   Ticket t1 = submit(Priority::Interactive);        // pending 0 -> admit
   Ticket t2 = submit(Priority::Interactive);        // pending 1 -> admit

@@ -93,8 +93,10 @@ void run_stress(const StressConfig& cfg) {
         DenseMatrix b(graphs[s.graph_idx].cols, s.n);
         kernels::fill_random(b, s.seed);
         try {
-          s.ticket = eng.submit(ids[s.graph_idx], std::move(b), s.reduce,
-                                static_cast<Priority>(rng.next_below(3)));
+          s.ticket = eng.submit(
+              ids[s.graph_idx], std::move(b),
+              {.reduce = s.reduce,
+               .priority = static_cast<Priority>(rng.next_below(3))});
           s.accepted_by_submit = true;
         } catch (const std::runtime_error&) {
           s.accepted_by_submit = false;  // raced past shutdown — allowed
