@@ -1,0 +1,188 @@
+/// Extension bench: learned plan selection vs the exact candidate sweep.
+///
+/// For a grid of generated matrix families (uniform, power-law R-MAT,
+/// road-grid, block-structured, citation) x dense widths x both devices,
+/// this runs the exact CF sweep and the trained feature predictor
+/// (core/plan_select) side by side and reports:
+///  - regret: modelled time of the predicted kernel vs the sweep's best
+///    (1.0 = the predictor recovers the optimum),
+///  - sweep cost: the modelled profiling time the sweep burns beyond its
+///    winner — the per-cold-plan cost Predict eliminates,
+///  - mispredicts: cases where the prediction is strictly slower.
+///
+/// This bench is also the offline trainer's data source: when
+/// GESPMM_PLAN_SELECT_DUMP=<path> is set in the environment, every case
+/// is appended to <path> as CSV (features + per-candidate times) for
+/// scripts/train_plan_select.py to fit the baked decision table from.
+/// (The env read lives here in the bench harness, not in selection code,
+/// which stays hermetic.)
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+
+#include "bench_common/registry.hpp"
+#include "core/autotune.hpp"
+#include "core/plan_select.hpp"
+#include "sparse/generators.hpp"
+
+using namespace gespmm;
+using bench::Table;
+
+namespace {
+
+/// Dense-ish blocks along the diagonal — the block-structured family
+/// (pruned-DNN-like sparsity) the generators module does not cover.
+Csr block_diag(index_t blocks, index_t bs, std::uint64_t seed) {
+  std::vector<index_t> r, c;
+  std::vector<value_t> v;
+  std::uint64_t s = seed * 0x9e3779b97f4a7c15ull + 1;
+  auto rnd = [&]() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return static_cast<double>(s >> 11) * (1.0 / 9007199254740992.0);
+  };
+  for (index_t b = 0; b < blocks; ++b) {
+    for (index_t i = 0; i < bs; ++i) {
+      for (index_t j = 0; j < bs; ++j) {
+        if (rnd() < 0.6) {
+          r.push_back(b * bs + i);
+          c.push_back(b * bs + j);
+          v.push_back(static_cast<value_t>(0.25 + 0.75 * rnd()));
+        }
+      }
+    }
+  }
+  return sparse::csr_from_triplets(blocks * bs, blocks * bs, r, c, v);
+}
+
+struct Case {
+  std::string family;
+  Csr a;
+};
+
+std::vector<Case> make_cases(bool quick) {
+  std::vector<Case> cases;
+  const std::uint64_t seeds = quick ? 1 : 2;
+  for (std::uint64_t s = 1; s <= seeds; ++s) {
+    cases.push_back({"uniform", sparse::uniform_random(2048, 2048, 8192, 800 + s)});
+    cases.push_back({"uniform", sparse::uniform_random(1024, 1024, 65536, 810 + s)});
+    cases.push_back({"rmat", sparse::rmat(10, 8.0, 0.57, 0.19, 0.19, 820 + s)});
+    cases.push_back({"grid", sparse::grid_road(2048, 0.05, 830 + s)});
+    cases.push_back({"block", block_diag(32, 32, 840 + s)});
+    cases.push_back({"citation", sparse::citation_graph(2000, 8000, 850 + s)});
+  }
+  return cases;
+}
+
+}  // namespace
+
+GESPMM_BENCH(plan_select) {
+  const auto& opt = ctx.opt;
+  const auto cases = make_cases(opt.quick);
+  // 32/33 straddle the warp-width selection boundary so the trainer can
+  // place its split exactly there instead of at a grid midpoint.
+  const std::vector<index_t> widths = {16, 32, 33, 64, 256, 512};
+
+  const char* dump_path = std::getenv("GESPMM_PLAN_SELECT_DUMP");
+  std::ofstream dump;
+  if (dump_path != nullptr) {
+    dump.open(dump_path, std::ios::app);
+    dump << "device,unified_l1,family,rows,cols,nnz,mean_row_nnz,"
+            "row_nnz_variance,row_nnz_cv,density,n,n_bucket,"
+            "t_crc,t_cwm2,t_cwm4,t_cwm8,best\n";
+  }
+
+  for (const auto& dev : opt.devices) {
+    bench::banner("Learned plan selection vs exact sweep (device " + dev.name +
+                  ", " + std::to_string(cases.size()) + " matrices x " +
+                  std::to_string(widths.size()) + " widths)");
+    Table table({"family", "cases", "regret(geo)", "max_regret", "sweep_ms(geo)",
+                 "cold_win(geo)", "mispredicts"});
+
+    std::vector<double> all_pred_ms, all_best_ms, all_regret;
+    std::vector<double> all_sweep_ms, all_cold_win;
+    std::uint64_t total_mispredicts = 0;
+
+    // Aggregate per family for the printed table; record one predict row
+    // and one sweep-cost row per (device, family) for the baseline.
+    std::vector<std::string> families = {"uniform", "rmat", "grid", "block",
+                                         "citation"};
+    for (const auto& fam : families) {
+      std::vector<double> pred_ms, best_ms, regret, sweep_ms, cold_win;
+      std::uint64_t mispredicts = 0;
+      int n_cases = 0;
+      for (const auto& cse : cases) {
+        if (cse.family != fam) continue;
+        for (index_t n : widths) {
+          AutotuneOptions aopt;
+          aopt.device = dev;
+          aopt.sample_blocks = opt.sample_blocks;
+          aopt.mode = SelectionMode::Exact;
+          const AutotuneResult exact = autotune_spmm(cse.a, n, aopt);
+
+          const PlanFeatures f = extract_plan_features(cse.a, n);
+          const SpmmAlgo predicted = predict_spmm_algo(f, dev);
+          // The sweep already priced every candidate; reuse its times so
+          // predicted vs best comparisons share one simulation.
+          const double t_pred = exact.times_ms.at(predicted);
+          const double t_best = exact.times_ms.at(exact.best);
+          ++n_cases;
+          pred_ms.push_back(t_pred);
+          best_ms.push_back(t_best);
+          regret.push_back(t_pred / t_best);
+          if (t_pred > t_best) ++mispredicts;
+          if (n > gpusim::kWarpSize) {
+            sweep_ms.push_back(exact.build_ms);
+            cold_win.push_back((t_best + exact.build_ms) / t_pred);
+          }
+
+          if (dump.is_open()) {
+            auto t_of = [&](SpmmAlgo algo) {
+              auto it = exact.times_ms.find(algo);
+              return it == exact.times_ms.end() ? 0.0 : it->second;
+            };
+            dump << dev.name << ',' << (dev.unified_l1 ? 1 : 0) << ','
+                 << cse.family << ',' << cse.a.rows << ',' << cse.a.cols << ','
+                 << cse.a.nnz() << ',' << f.mean_row_nnz << ','
+                 << f.row_nnz_variance << ',' << f.row_nnz_cv << ','
+                 << f.density << ',' << n << ',' << f.n_bucket << ','
+                 << t_of(SpmmAlgo::Crc) << ',' << t_of(SpmmAlgo::CrcCwm2) << ','
+                 << t_of(SpmmAlgo::CrcCwm4) << ',' << t_of(SpmmAlgo::CrcCwm8)
+                 << ',' << kernels::algo_name(exact.best) << '\n';
+          }
+        }
+      }
+      const double geo_regret = bench::geomean(regret);
+      double max_regret = 1.0;
+      for (double r : regret) max_regret = std::max(max_regret, r);
+      const double geo_sweep = bench::geomean(sweep_ms);
+      const double geo_win = bench::geomean(cold_win);
+      table.add_row({fam, std::to_string(n_cases), Table::fmt(geo_regret, 4),
+                     Table::fmt(max_regret, 4), Table::fmt(geo_sweep, 3),
+                     Table::fmt(geo_win), std::to_string(mispredicts)});
+      ctx.record(dev.name, fam, "predict", 0, bench::geomean(pred_ms),
+                 geo_regret > 0.0 ? 1.0 / geo_regret : 0.0);
+      ctx.record(dev.name, fam, "sweep-cost", 0, geo_sweep, geo_win);
+
+      all_pred_ms.insert(all_pred_ms.end(), pred_ms.begin(), pred_ms.end());
+      all_best_ms.insert(all_best_ms.end(), best_ms.begin(), best_ms.end());
+      all_regret.insert(all_regret.end(), regret.begin(), regret.end());
+      all_sweep_ms.insert(all_sweep_ms.end(), sweep_ms.begin(), sweep_ms.end());
+      all_cold_win.insert(all_cold_win.end(), cold_win.begin(), cold_win.end());
+      total_mispredicts += mispredicts;
+    }
+    table.print();
+    std::printf(
+        "%s: geomean regret %.4f (bound %.2f), sweep cost eliminated "
+        "%.3f ms/cold plan (geomean), cold-plan win %.2fx, mispredicts %llu\n",
+        dev.name.c_str(), bench::geomean(all_regret), kPlanSelectRegretBound,
+        bench::geomean(all_sweep_ms), bench::geomean(all_cold_win),
+        static_cast<unsigned long long>(total_mispredicts));
+  }
+  if (dump.is_open()) {
+    std::printf("\ntraining dump appended to %s\n", dump_path);
+  }
+}

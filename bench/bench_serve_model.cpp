@@ -137,8 +137,10 @@ GESPMM_BENCH(serve_model) {
         eng.shutdown();
 
         const double speedup = fused_ms > 0.0 ? composed_ms / fused_ms : 0.0;
-        const std::string setting = "(" + std::to_string(s.layers) + ", " +
-                                    std::to_string(s.feats) + ")";
+        // std::string lhs sidesteps GCC 12's -Wrestrict false positive on
+        // the (const char* + string&&) insert path (GCC bug 105651).
+        const std::string setting = std::string("(") + std::to_string(s.layers) +
+                                    ", " + std::to_string(s.feats) + ")";
         table.add_row({setting, Table::fmt(composed_ms, 3),
                        Table::fmt(fused_ms, 3), Table::fmt(speedup),
                        std::to_string(cache.hits) + "/" +

@@ -65,6 +65,55 @@ double throughput_rps(const serve::EngineStats& st) {
                               : 0.0;
 }
 
+/// q-th percentile of the virtual-clock completion stamps (fairness-bench
+/// idiom: sort, index at q * size).
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto idx = std::min(xs.size() - 1,
+                            static_cast<std::size_t>(q * static_cast<double>(xs.size())));
+  return xs[idx];
+}
+
+/// Cold-start run: plan cache disabled, so every request is a cold plan
+/// build under `mode` — the per-request planning cost the learned
+/// selector eliminates. Requests run one per batch at a width wide
+/// enough (> 32) that Exact has a real candidate sweep to pay for.
+struct ColdRun {
+  serve::EngineStats stats;
+  std::vector<double> completed_at_ms;
+};
+
+constexpr sparse::index_t kColdN = 64;
+
+ColdRun run_cold_workload(SelectionMode mode, const gpusim::DeviceSpec& dev,
+                          std::uint64_t sample_blocks,
+                          const std::vector<sparse::GraphDataset>& graphs) {
+  serve::ServeOptions sopt = serve_opts({dev}, /*max_batch_requests=*/1, sample_blocks);
+  sopt.plan.enabled = false;
+  sopt.plan.selection = mode;
+  serve::Engine eng(sopt);
+
+  std::vector<serve::GraphId> ids;
+  ids.reserve(graphs.size());
+  for (const auto& g : graphs) ids.push_back(eng.register_graph(g.adj));
+  std::vector<serve::Ticket> tickets;
+  for (int r = 0; r < kRequestsPerGraph; ++r) {
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+      kernels::DenseMatrix b(graphs[gi].adj.cols, kColdN);
+      kernels::fill_random(b, 6200 + 10 * static_cast<std::uint64_t>(gi) +
+                                  static_cast<std::uint64_t>(r));
+      tickets.push_back(eng.submit(ids[gi], std::move(b)));
+    }
+  }
+  eng.shutdown();
+  ColdRun run;
+  run.completed_at_ms.reserve(tickets.size());
+  for (auto& t : tickets) run.completed_at_ms.push_back(t.wait().completed_at_ms);
+  run.stats = eng.stats();
+  return run;
+}
+
 }  // namespace
 
 GESPMM_BENCH(serve_throughput) {
@@ -99,6 +148,41 @@ GESPMM_BENCH(serve_throughput) {
 
     ctx.record(dev.name, "citation-mix", "per-request", kRequestN, ss.modelled_ms);
     ctx.record(dev.name, "citation-mix", "batched", kRequestN, bs.modelled_ms, speedup);
+  }
+
+  // Cold-start planning: with the plan cache disabled every request pays
+  // algorithm selection. Predict (trained feature predictor) eliminates
+  // the Exact candidate sweep's profiling runs, so the cold-request p95
+  // virtual-clock latency drops; steady-state rows above are untouched
+  // (their engines use the default Predict mode and hit the cache).
+  for (const auto& dev : opt.devices) {
+    bench::banner("Serving: cold-start plan selection, Predict vs Exact (device " +
+                  dev.name + ", cache disabled, N=" + std::to_string(kColdN) + ")");
+    const ColdRun exact = run_cold_workload(SelectionMode::Exact, dev,
+                                            opt.sample_blocks, graphs);
+    const ColdRun pred = run_cold_workload(SelectionMode::Predict, dev,
+                                           opt.sample_blocks, graphs);
+    const double p95_exact = percentile(exact.completed_at_ms, 0.95);
+    const double p95_pred = percentile(pred.completed_at_ms, 0.95);
+    const double p95_win = p95_pred > 0.0 ? p95_exact / p95_pred : 0.0;
+
+    Table table({"selection", "builds", "plan_build_ms", "modelled_ms", "p95_ms", "speedup"});
+    table.add_row({"exact-sweep", std::to_string(exact.stats.plan_exact_builds),
+                   Table::fmt(exact.stats.plan_build_ms, 3),
+                   Table::fmt(exact.stats.modelled_ms, 3),
+                   Table::fmt(p95_exact, 3), "1.00"});
+    table.add_row({"predict", std::to_string(pred.stats.plan_predicted_builds),
+                   Table::fmt(pred.stats.plan_build_ms, 3),
+                   Table::fmt(pred.stats.modelled_ms, 3),
+                   Table::fmt(p95_pred, 3), Table::fmt(p95_win)});
+    table.print();
+    std::printf("cold p95 win %.2fx (selection cost eliminated: %.3f ms; "
+                "mispredicts: %llu)\n",
+                p95_win, exact.stats.plan_build_ms,
+                static_cast<unsigned long long>(pred.stats.plan_mispredicts));
+
+    ctx.record(dev.name, "citation-mix", "cold-exact", kColdN, p95_exact);
+    ctx.record(dev.name, "citation-mix", "cold-predict", kColdN, p95_pred, p95_win);
   }
 
   if (opt.devices.size() > 1) {

@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Offline trainer for the learned plan selector (core/plan_select).
+
+Fits a small greedy decision tree (CART over a regret criterion) on the
+training CSV that bench_plan_select dumps when GESPMM_PLAN_SELECT_DUMP is
+set, then emits the node table src/core/plan_select.cpp bakes in.
+
+Pipeline (from the repo root, after a build):
+    GESPMM_PLAN_SELECT_DUMP=/tmp/plan_select_train.csv \
+        build/bench/bench_plan_select
+    python3 scripts/train_plan_select.py /tmp/plan_select_train.csv \
+        --out src/core/plan_select_table.inc
+
+The tree predicts the kernel whose modelled time minimizes total regret
+(sum over cases of time(assigned) / time(sweep best)). Splits stop when
+they no longer improve regret, so on the current cost model — where the
+exact sweep agrees with the paper's fixed rule everywhere — the fitted
+tree *is* the fixed rule, learned rather than assumed. The trainer earns
+its keep when the kernel zoo or the cost model grows.
+
+Stdlib only; no sklearn, no third-party deps.
+"""
+
+import argparse
+import sys
+
+# Feature order must match FeatureId in src/core/plan_select.cpp.
+FEATURES = [
+    ("n", "kFeatN"),
+    ("mean_row_nnz", "kFeatMeanRowNnz"),
+    ("row_nnz_cv", "kFeatRowNnzCv"),
+    ("density", "kFeatDensity"),
+    ("unified_l1", "kFeatUnifiedL1"),
+]
+
+# CSV time column -> emitted enum constant. A 0.0 time means the kernel
+# was not a candidate for that case (n <= 32 admits only Crc).
+ALGOS = [
+    ("t_crc", "SpmmAlgo::Crc"),
+    ("t_cwm2", "SpmmAlgo::CrcCwm2"),
+    ("t_cwm4", "SpmmAlgo::CrcCwm4"),
+    ("t_cwm8", "SpmmAlgo::CrcCwm8"),
+]
+
+INVALID = float("inf")
+
+# Regret charged when a leaf predicts a kernel that is not a candidate for
+# a case (the C++ side clamps such predictions to the fixed rule, which
+# costs regret 1.0 there). The extra penalty makes the trainer prefer
+# trees that predict real candidates directly over leaning on the clamp —
+# without it, a single-leaf tree ties the width split and wins on size.
+INVALID_PENALTY = 0.01
+
+
+def load_rows(path):
+    rows = []
+    header = None
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            cols = line.split(",")
+            if cols[0] == "device":  # header (append mode repeats it per run)
+                header = cols
+                continue
+            if header is None:
+                raise SystemExit(f"{path}: data before header")
+            rec = dict(zip(header, cols))
+            feats = [float(rec[name]) for name, _ in FEATURES]
+            times = []
+            for col, _ in ALGOS:
+                t = float(rec[col])
+                times.append(t if t > 0.0 else INVALID)
+            rows.append((feats, times, min(times)))
+    if not rows:
+        raise SystemExit(f"{path}: no training rows")
+    return rows
+
+
+def leaf_cost(rows):
+    """(best_algo_index, total_regret) for predicting one kernel on rows."""
+    best_algo, best_cost = 0, INVALID
+    for ai in range(len(ALGOS)):
+        cost = 0.0
+        for _, times, t_best in rows:
+            t = times[ai]
+            if t == INVALID:
+                cost += 1.0 + INVALID_PENALTY
+            else:
+                cost += t / t_best
+        if cost < best_cost:
+            best_algo, best_cost = ai, cost
+    return best_algo, best_cost
+
+
+def best_split(rows):
+    """(feature_index, threshold, cost_left+cost_right) or None."""
+    best = None
+    for fi in range(len(FEATURES)):
+        values = sorted({feats[fi] for feats, _, _ in rows})
+        for lo, hi in zip(values, values[1:]):
+            thr = (lo + hi) / 2.0
+            left = [r for r in rows if r[0][fi] <= thr]
+            right = [r for r in rows if r[0][fi] > thr]
+            if not left or not right:
+                continue
+            cost = leaf_cost(left)[1] + leaf_cost(right)[1]
+            if best is None or cost < best[2]:
+                best = (fi, thr, cost)
+    return best
+
+
+def build_tree(rows, depth, max_depth, min_gain):
+    """Returns nested dict: {'algo': ai} or {'fi', 'thr', 'left', 'right'}."""
+    algo, cost = leaf_cost(rows)
+    if depth >= max_depth:
+        return {"algo": algo}
+    split = best_split(rows)
+    if split is None or cost - split[2] < min_gain:
+        return {"algo": algo}
+    fi, thr, _ = split
+    left_rows = [r for r in rows if r[0][fi] <= thr]
+    right_rows = [r for r in rows if r[0][fi] > thr]
+    return {
+        "fi": fi,
+        "thr": thr,
+        "left": build_tree(left_rows, depth + 1, max_depth, min_gain),
+        "right": build_tree(right_rows, depth + 1, max_depth, min_gain),
+    }
+
+
+def flatten(tree):
+    """Preorder node list; children always after their parent (the C++
+    walker relies on that to bound its step count)."""
+    nodes = []
+
+    def emit(t):
+        idx = len(nodes)
+        nodes.append(None)  # reserve
+        if "algo" in t:
+            nodes[idx] = ("-1", 0, 0, ALGOS[t["algo"]][1], 0.0)
+        else:
+            left = emit(t["left"])
+            right = emit(t["right"])
+            nodes[idx] = (FEATURES[t["fi"]][1], left, right, "SpmmAlgo::Crc",
+                          t["thr"])
+        return idx
+
+    emit(tree)
+    return nodes
+
+
+def predict(tree, feats):
+    while "algo" not in tree:
+        tree = tree["left"] if feats[tree["fi"]] <= tree["thr"] else tree["right"]
+    return tree["algo"]
+
+
+def training_regret(tree, rows):
+    total, worst, mispredicts = 0.0, 1.0, 0
+    for feats, times, t_best in rows:
+        t = times[predict(tree, feats)]
+        if t == INVALID:
+            t = t_best  # clamped to the fixed rule by the C++ side
+        r = t / t_best
+        total += r
+        worst = max(worst, r)
+        if r > 1.0:
+            mispredicts += 1
+    return total / len(rows), worst, mispredicts
+
+
+def render(nodes, source):
+    lines = [
+        "// Generated by scripts/train_plan_select.py — do not edit by hand.",
+        "// Regenerate with:",
+        "//   GESPMM_PLAN_SELECT_DUMP=/tmp/plan_select_train.csv build/bench/bench_plan_select",
+        "//   python3 scripts/train_plan_select.py /tmp/plan_select_train.csv --out src/core/plan_select_table.inc",
+        f"// Trained on {source}.",
+        "// Fields per node: {feature, left, right, algo, threshold}; feature -1 is",
+        "// a leaf (see PlanSelectNode in plan_select.cpp).",
+        "inline constexpr PlanSelectNode kPlanSelectTree[] = {",
+    ]
+    for feat, left, right, algo, thr in nodes:
+        lines.append(f"    {{{feat}, {left}, {right}, {algo}, {thr:.1f}}},")
+    lines.append("};")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("csv", help="training dump from bench_plan_select")
+    ap.add_argument("--out", help="write the node table here (default stdout)")
+    ap.add_argument("--max-depth", type=int, default=4)
+    ap.add_argument("--min-gain", type=float, default=1e-9,
+                    help="minimum regret improvement to keep a split")
+    args = ap.parse_args(argv)
+
+    rows = load_rows(args.csv)
+    tree = build_tree(rows, 0, args.max_depth, args.min_gain)
+    mean_r, max_r, mis = training_regret(tree, rows)
+    nodes = flatten(tree)
+    table = render(nodes, f"{len(rows)} cases from {args.csv}")
+
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(table)
+        print(f"wrote {args.out}: {len(nodes)} nodes", file=sys.stderr)
+    else:
+        sys.stdout.write(table)
+    print(f"training regret: mean {mean_r:.4f}, max {max_r:.4f}, "
+          f"mispredicts {mis}/{len(rows)}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

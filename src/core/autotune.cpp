@@ -1,5 +1,9 @@
 #include "core/autotune.hpp"
 
+#include <algorithm>
+#include <limits>
+
+#include "core/plan_select.hpp"
 #include "kernels/spmm_problem.hpp"
 
 namespace gespmm {
@@ -21,18 +25,63 @@ AutotuneResult autotune_spmm(const Csr& a, index_t n, const AutotuneOptions& opt
   ro.device = opt.device;
   ro.sample = gpusim::SamplePolicy::sampled(opt.sample_blocks);
 
-  res.best = candidates.front();
-  double best_ms = std::numeric_limits<double>::infinity();
-  for (auto algo : candidates) {
+  // Price one candidate, memoized: the sweep and the predict/retune paths
+  // share simulations through times_ms so no candidate is ever run twice.
+  auto simulate = [&](SpmmAlgo algo) {
+    if (auto it = res.times_ms.find(algo); it != res.times_ms.end())
+      return it->second;
     kernels::SpmmProblem p(a, n);
     const double ms = kernels::run_spmm(algo, p, ro).time_ms();
     res.times_ms[algo] = ms;
-    if (ms < best_ms) {
-      best_ms = ms;
-      res.best = algo;
+    return ms;
+  };
+
+  // Exhaustive sweep over the candidates, keeping the earliest minimum on
+  // ties. Charges every profiling run except the winner's to build_ms.
+  auto sweep = [&] {
+    res.best = candidates.front();
+    double best_ms = std::numeric_limits<double>::infinity();
+    double total_ms = 0.0;
+    for (auto algo : candidates) {
+      const double ms = simulate(algo);
+      total_ms += ms;
+      if (ms < best_ms) {
+        best_ms = ms;
+        res.best = algo;
+      }
+    }
+    res.build_ms = total_ms - best_ms;
+    return best_ms;
+  };
+
+  if (opt.mode == SelectionMode::Exact) {
+    sweep();
+  } else {
+    res.predicted = true;
+    res.best = predict_spmm_algo(extract_plan_features(a, n), opt.device);
+    // A table trained for a different kernel zoo could name an algorithm
+    // outside this shape's candidate set; clamp to the fixed rule.
+    if (std::find(candidates.begin(), candidates.end(), res.best) ==
+        candidates.end())
+      res.best = res.default_choice;
+    const double pred_ms = simulate(res.best);
+    if (opt.retune_regret > 0.0 &&
+        pred_ms > opt.retune_regret * simulate(res.default_choice)) {
+      // Escalate: run the sweep (memoization skips the already-priced
+      // kernels, but their runs still count as selection cost — only the
+      // prediction's own pricing run stays free, since a plan build pays
+      // that one regardless of mode).
+      const SpmmAlgo predicted_algo = res.best;
+      const double best_ms = sweep();
+      res.retuned = true;
+      res.build_ms = 0.0;
+      for (const auto& [algo, ms] : res.times_ms)
+        if (algo != predicted_algo) res.build_ms += ms;
+      res.mispredicted = best_ms < pred_ms;
     }
   }
-  res.gain_over_default = res.times_ms.at(res.default_choice) / best_ms;
+  res.gain_over_default =
+      simulate(res.default_choice) / res.times_ms.at(res.best);
   return res;
 }
 

@@ -1,0 +1,103 @@
+#include "core/plan_select.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace gespmm {
+
+std::array<std::uint64_t, kRowHistBuckets> row_length_histogram(const Csr& a) {
+  std::array<std::uint64_t, kRowHistBuckets> hist{};
+  for (index_t i = 0; i < a.rows; ++i) {
+    const auto len = static_cast<std::uint32_t>(a.row_nnz(i));
+    hist[static_cast<std::size_t>(std::bit_width(len))] += 1;
+  }
+  return hist;
+}
+
+PlanFeatures extract_plan_features(const Csr& a, index_t n) {
+  PlanFeatures f;
+  f.rows = a.rows;
+  f.cols = a.cols;
+  f.nnz = a.nnz();
+  f.n = n;
+  f.n_bucket = (n + gpusim::kWarpSize - 1) / gpusim::kWarpSize;
+  f.row_hist = row_length_histogram(a);
+  if (a.rows > 0) {
+    const double rows = static_cast<double>(a.rows);
+    f.mean_row_nnz = static_cast<double>(f.nnz) / rows;
+    double var = 0.0;
+    for (index_t i = 0; i < a.rows; ++i) {
+      const double d = static_cast<double>(a.row_nnz(i)) - f.mean_row_nnz;
+      var += d * d;
+    }
+    f.row_nnz_variance = var / rows;
+    if (f.mean_row_nnz > 0.0)
+      f.row_nnz_cv = std::sqrt(f.row_nnz_variance) / f.mean_row_nnz;
+    if (a.cols > 0)
+      f.density = static_cast<double>(f.nnz) / (rows * static_cast<double>(a.cols));
+  }
+  return f;
+}
+
+namespace {
+
+/// One decision-tree node. `feature` indexes the FeatureId order below;
+/// -1 marks a leaf, whose `algo` is the prediction. Inner nodes branch
+/// left when feature <= threshold, right otherwise.
+struct PlanSelectNode {
+  std::int16_t feature;
+  std::int16_t left;
+  std::int16_t right;
+  SpmmAlgo algo;
+  double threshold;
+};
+
+/// Feature order the trainer emits thresholds against. Keep in sync with
+/// scripts/train_plan_select.py (FEATURES list).
+enum FeatureId : std::int16_t {
+  kLeaf = -1,
+  kFeatN = 0,
+  kFeatMeanRowNnz = 1,
+  kFeatRowNnzCv = 2,
+  kFeatDensity = 3,
+  kFeatUnifiedL1 = 4,
+};
+
+#include "core/plan_select_table.inc"
+
+double feature_value(const PlanFeatures& f, const gpusim::DeviceSpec& device,
+                     std::int16_t id) {
+  switch (id) {
+    case kFeatN: return static_cast<double>(f.n);
+    case kFeatMeanRowNnz: return f.mean_row_nnz;
+    case kFeatRowNnzCv: return f.row_nnz_cv;
+    case kFeatDensity: return f.density;
+    case kFeatUnifiedL1: return device.unified_l1 ? 1.0 : 0.0;
+    default: return 0.0;
+  }
+}
+
+}  // namespace
+
+SpmmAlgo predict_spmm_algo(const PlanFeatures& f,
+                           const gpusim::DeviceSpec& device) {
+  std::size_t node = 0;
+  // The table is a finite DAG-free array with children strictly after
+  // their parent, so this terminates in <= std::size(kPlanSelectTree)
+  // steps for any table the trainer can emit.
+  for (std::size_t steps = 0; steps < std::size(kPlanSelectTree); ++steps) {
+    const PlanSelectNode& nd = kPlanSelectTree[node];
+    if (nd.feature == kLeaf) return nd.algo;
+    node = feature_value(f, device, nd.feature) <= nd.threshold
+               ? static_cast<std::size_t>(nd.left)
+               : static_cast<std::size_t>(nd.right);
+  }
+  return kernels::select_gespmm_algo(f.n);  // unreachable for valid tables
+}
+
+SpmmAlgo predict_spmm_algo(const Csr& a, index_t n,
+                           const gpusim::DeviceSpec& device) {
+  return predict_spmm_algo(extract_plan_features(a, n), device);
+}
+
+}  // namespace gespmm

@@ -414,6 +414,11 @@ EngineStats Engine::stats() const {
   EngineStats st = stats_;
   st.admission = admission_.stats();
   st.graphs = scheduler_.stats();
+  const PlanCacheStats ps = plan_cache_.stats();
+  st.plan_predicted_builds = ps.predicted_builds;
+  st.plan_exact_builds = ps.exact_builds;
+  st.plan_retunes = ps.retunes;
+  st.plan_mispredicts = ps.mispredicts;
   return st;
 }
 
@@ -496,6 +501,10 @@ void Engine::execute_batch(std::vector<std::shared_ptr<detail::RequestState>> ba
   const PlanLease lease = plan_cache_.acquire(key, a, dev);
   const bool hit = lease.hit();
   const auto plan = lease.plan();
+  // A cold miss pays for the selection itself: the sweep's profiling runs
+  // beyond the winner (0 under the default Predict mode). Hits ride the
+  // already-paid selection.
+  const double build_ms = hit ? 0.0 : plan->build_ms;
 
   DenseMatrix c_all(a.rows, total_n);
   kernels::spmm_host_parallel(a, *b_all, c_all, reduce);
@@ -510,7 +519,7 @@ void Engine::execute_batch(std::vector<std::shared_ptr<detail::RequestState>> ba
     DeviceServeStats& ds = stats_.devices[device_index];
     ds.requests += batch.size();
     ds.batches += 1;
-    ds.modelled_ms += plan->modelled_ms;
+    ds.modelled_ms += plan->modelled_ms + build_ms;
     completed_at = ds.modelled_ms;
     virtual_now_ms_ = std::max(virtual_now_ms_, completed_at);
     (hit ? ds.plan_cache_hits : ds.plan_cache_misses) += 1;
@@ -518,7 +527,8 @@ void Engine::execute_batch(std::vector<std::shared_ptr<detail::RequestState>> ba
     stats_.batches += 1;
     if (batch.size() > 1) stats_.coalesced_requests += batch.size();
     (hit ? stats_.plan_cache_hits : stats_.plan_cache_misses) += 1;
-    stats_.modelled_ms += plan->modelled_ms;
+    stats_.modelled_ms += plan->modelled_ms + build_ms;
+    stats_.plan_build_ms += build_ms;
     for (const auto& r : batch) {
       TenantServeStats& ts = stats_.tenants[r->tenant];
       ++ts.completed;
@@ -575,6 +585,7 @@ void Engine::execute_sharded_batch(
   // scaling honestly pays for the scatter/gather structure.
   DenseMatrix c_all(a.rows, total_n);
   std::vector<double> shard_ms(static_cast<std::size_t>(num_shards), 0.0);
+  std::vector<double> shard_build_ms(static_cast<std::size_t>(num_shards), 0.0);
   std::vector<bool> shard_hit(static_cast<std::size_t>(num_shards), false);
   double gather_total_ms = 0.0;
   SpmmAlgo algo0 = SpmmAlgo::GeSpMM;
@@ -605,6 +616,10 @@ void Engine::execute_sharded_batch(
         halo_bytes / (opt_.sharding.interconnect_gbps * 1e6);
     gather_total_ms += gather_ms;
     shard_ms[static_cast<std::size_t>(si)] = lease->modelled_ms + gather_ms;
+    // Cold shard plans charge their selection cost (the sweep's extra
+    // profiling runs) to the shard's device; kept out of shard_ms so the
+    // makespan below stays an execution metric.
+    if (!lease.hit()) shard_build_ms[static_cast<std::size_t>(si)] = lease->build_ms;
   }
 
   // Account before fulfilling, like execute_batch. Each shard's device
@@ -619,7 +634,8 @@ void Engine::execute_sharded_batch(
       DeviceServeStats& ds = stats_.devices[static_cast<std::size_t>(si)];
       ds.requests += batch.size();
       ds.batches += 1;
-      ds.modelled_ms += shard_ms[static_cast<std::size_t>(si)];
+      ds.modelled_ms += shard_ms[static_cast<std::size_t>(si)] +
+                        shard_build_ms[static_cast<std::size_t>(si)];
       completed_at = std::max(completed_at, ds.modelled_ms);
       makespan_ms =
           std::max(makespan_ms, shard_ms[static_cast<std::size_t>(si)]);
@@ -627,7 +643,9 @@ void Engine::execute_sharded_batch(
                                                : ds.plan_cache_misses) += 1;
       (shard_hit[static_cast<std::size_t>(si)] ? stats_.plan_cache_hits
                                                : stats_.plan_cache_misses) += 1;
-      stats_.modelled_ms += shard_ms[static_cast<std::size_t>(si)];
+      stats_.modelled_ms += shard_ms[static_cast<std::size_t>(si)] +
+                            shard_build_ms[static_cast<std::size_t>(si)];
+      stats_.plan_build_ms += shard_build_ms[static_cast<std::size_t>(si)];
     }
     virtual_now_ms_ = std::max(virtual_now_ms_, completed_at);
     stats_.completed += batch.size();
@@ -688,6 +706,7 @@ void Engine::execute_model(std::shared_ptr<detail::RequestState> state,
   double composed_ms = 0.0;
   std::uint64_t layer_hits = 0;
   std::uint64_t layer_misses = 0;
+  double build_total_ms = 0.0;
   SpmmAlgo algo = SpmmAlgo::GeSpMM;
   for (std::size_t l = 0; l < m.plan.layers.size(); ++l) {
     const LayerStep& s = m.plan.layers[l];
@@ -698,6 +717,7 @@ void Engine::execute_model(std::shared_ptr<detail::RequestState> state,
     const PlanKey key{m.plan.graph_key, dev.name, s.spmm_width, s.reduce};
     const PlanLease lease = plan_cache_.acquire(key, a, dev);
     (lease.hit() ? layer_hits : layer_misses) += 1;
+    if (!lease.hit()) build_total_ms += lease->build_ms;
     algo = lease->algo;
     const LayerCost lc = price_layer(s, a.rows, lease->modelled_ms, cost);
     fused_ms += lc.fused_ms;
@@ -717,7 +737,10 @@ void Engine::execute_model(std::shared_ptr<detail::RequestState> state,
     DeviceServeStats& ds = stats_.devices[device_index];
     ds.requests += 1;
     ds.batches += 1;
-    ds.modelled_ms += fused_ms;
+    // Cold layer plans charge their selection cost on top of the fused
+    // pass (0 under Predict); kept out of res.modelled_ms, which stays
+    // the fused execution time.
+    ds.modelled_ms += fused_ms + build_total_ms;
     completed_at = ds.modelled_ms;
     virtual_now_ms_ = std::max(virtual_now_ms_, completed_at);
     ds.plan_cache_hits += layer_hits;
@@ -726,7 +749,8 @@ void Engine::execute_model(std::shared_ptr<detail::RequestState> state,
     stats_.batches += 1;
     stats_.plan_cache_hits += layer_hits;
     stats_.plan_cache_misses += layer_misses;
-    stats_.modelled_ms += fused_ms;
+    stats_.modelled_ms += fused_ms + build_total_ms;
+    stats_.plan_build_ms += build_total_ms;
     stats_.fused_saved_ms += composed_ms - fused_ms;
     TenantServeStats& ts = stats_.tenants[state->tenant];
     ++ts.completed;

@@ -377,6 +377,19 @@ struct EngineStats {
   double gather_ms = 0.0;
   std::uint64_t plan_cache_hits = 0;
   std::uint64_t plan_cache_misses = 0;
+  /// Modelled device time spent *selecting* kernels on cold plan misses —
+  /// the exact sweep's profiling runs beyond the winner, charged to the
+  /// requesting device's clock (see CachedPlan::build_ms). 0 under the
+  /// default Predict selection mode; included in `modelled_ms`.
+  double plan_build_ms = 0.0;
+  /// Plan-selection telemetry mirrored from the plan cache (see
+  /// PlanCacheStats): tuner builds decided by the trained predictor vs.
+  /// the exact sweep, retune escalations, and confirmed mispredicts —
+  /// the online-refinement feedback loop's counters.
+  std::uint64_t plan_predicted_builds = 0;
+  std::uint64_t plan_exact_builds = 0;
+  std::uint64_t plan_retunes = 0;
+  std::uint64_t plan_mispredicts = 0;
   /// Total modelled device time across all batches (ms) — the serving
   /// cost metric bench_serve_throughput compares across policies. Equals
   /// the sum of the per-device clocks; concurrent-device wall time is the

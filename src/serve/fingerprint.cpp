@@ -4,6 +4,7 @@
 #include <bit>
 #include <sstream>
 
+#include "core/plan_select.hpp"
 #include "sparse/rng.hpp"
 
 namespace gespmm::serve {
@@ -40,13 +41,11 @@ GraphFingerprint fingerprint(const Csr& a) {
   // and bucket b >= 1 counts rows with 2^(b-1) <= nnz < 2^b — i.e. bucket
   // bit_width(len), so a power-of-two length 2^k opens bucket k+1 rather
   // than closing bucket k. This half-open contract is the stable identity
-  // the bucket-boundary goldens in test_serve_engine.cpp pin. 33 buckets
-  // cover every possible 32-bit row length.
-  std::array<std::uint64_t, 33> hist{};
-  for (index_t i = 0; i < a.rows; ++i) {
-    const auto len = static_cast<std::uint32_t>(a.row_nnz(i));
-    hist[static_cast<std::size_t>(std::bit_width(len))] += 1;
-  }
+  // the bucket-boundary goldens in test_serve_engine.cpp pin, and the
+  // same bucketing the learned plan selector conditions on — shared via
+  // core/plan_select so the two can never drift.
+  const std::array<std::uint64_t, kRowHistBuckets> hist =
+      row_length_histogram(a);
   std::uint64_t hh = 0x5ca1ab1eull;
   for (std::uint64_t count : hist) hh = mix64(hh, count);
   fp.histogram_hash = hh;

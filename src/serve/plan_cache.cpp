@@ -44,11 +44,17 @@ std::shared_ptr<CachedPlan> PlanCache::build(const PlanKey& key, const Csr& a,
     AutotuneOptions aopt;
     aopt.device = device;
     aopt.sample_blocks = opt_.sample_blocks;
+    aopt.mode = opt_.selection;
+    aopt.retune_regret = opt_.retune_regret;
     const AutotuneResult res = autotune_spmm(a, key.n, aopt);
     plan->algo = res.best;
     plan->modelled_ms = res.times_ms.at(res.best);
     plan->autotuned = true;
     plan->gain_over_default = res.gain_over_default;
+    plan->build_ms = res.build_ms;
+    plan->predicted = res.predicted;
+    plan->retuned = res.retuned;
+    plan->mispredicted = res.mispredicted;
   } else {
     plan->algo = kernels::select_gespmm_algo(key.n);
     kernels::SpmmProblem p(a, key.n);
@@ -59,6 +65,17 @@ std::shared_ptr<CachedPlan> PlanCache::build(const PlanKey& key, const Csr& a,
     plan->modelled_ms = kernels::run_spmm(plan->algo, p, ro).time_ms();
   }
   return plan;
+}
+
+void PlanCache::note_build(const CachedPlan& plan) {
+  if (!plan.autotuned) return;  // fixed-rule builds have no selection story
+  if (plan.predicted && !plan.retuned) {
+    ++predicted_builds_;
+  } else {
+    ++exact_builds_;
+  }
+  if (plan.retuned) ++retunes_;
+  if (plan.mispredicted) ++mispredicts_;
 }
 
 void PlanCache::touch(Entry& e) {
@@ -78,6 +95,17 @@ void PlanCache::unpin(const PlanKey& key) {
 PlanLease PlanCache::acquire(const PlanKey& raw_key, const Csr& a,
                              const gpusim::DeviceSpec& device) {
   const PlanKey key = quantized(raw_key);
+  if (!opt_.enabled) {
+    // Pure build path: nothing is looked up or retained, so every acquire
+    // is a miss and every build is handed back uncached. The cold-start
+    // benches use this to price planning per request.
+    auto plan = build(key, a, device);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+    ++uncached_builds_;
+    note_build(*plan);
+    return PlanLease(std::move(plan), nullptr, key, false);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (auto it = plans_.find(key); it != plans_.end()) {
@@ -97,6 +125,7 @@ PlanLease PlanCache::acquire(const PlanKey& raw_key, const Csr& a,
   auto plan = build(key, a, device);
 
   std::lock_guard<std::mutex> lock(mu_);
+  note_build(*plan);
   if (auto it = plans_.find(key); it != plans_.end()) {
     // A racer inserted first; share the resident plan.
     touch(it->second);
@@ -143,6 +172,10 @@ PlanCacheStats PlanCache::stats() const {
   st.inserts = inserts_;
   st.evictions = evictions_;
   st.uncached_builds = uncached_builds_;
+  st.predicted_builds = predicted_builds_;
+  st.exact_builds = exact_builds_;
+  st.retunes = retunes_;
+  st.mispredicts = mispredicts_;
   st.size = plans_.size();
   st.peak_size = peak_size_;
   st.pinned = pin_count_;

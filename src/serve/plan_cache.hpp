@@ -60,20 +60,48 @@ struct CachedPlan {
   SpmmAlgo algo = SpmmAlgo::GeSpMM;
   /// Block-sampled modelled device time for one SpMM at this shape (ms).
   double modelled_ms = 0.0;
-  /// Whether `algo` came from the CF autotuner (sum reductions) or the
+  /// Whether `algo` came from the CF tuner (sum reductions) or the
   /// paper's fixed Fig. 7(c) rule (non-sum reductions are not tuned: the
   /// tuner's candidate sweep is calibrated for the standard semiring).
   bool autotuned = false;
   /// time(fixed rule) / time(algo); 1.0 when the fixed rule was optimal.
   double gain_over_default = 1.0;
+  /// Modelled device time algorithm selection itself cost: the candidate
+  /// profiling runs beyond the one that priced the chosen kernel (see
+  /// AutotuneResult::build_ms). The engine charges this to the requesting
+  /// device's clock when the plan was freshly built; 0 for cache hits,
+  /// pure predictions and fixed-rule builds.
+  double build_ms = 0.0;
+  /// Selection ran the trained predictor (SelectionMode::Predict); when
+  /// `retuned` is also set, the sweep had the final word on `algo`.
+  bool predicted = false;
+  /// The predict path escalated to the exact sweep (retune_regret).
+  bool retuned = false;
+  /// That escalation found a kernel strictly faster than the prediction.
+  bool mispredicted = false;
 };
 
 /// How plans are built and retained.
 struct PlanCacheOptions {
-  /// Run the CF autotuner (sum reductions only) instead of the fixed rule.
+  /// Run the CF tuner (sum reductions only) instead of the fixed rule.
   bool autotune = true;
+  /// How the tuner selects: Predict (default) maps matrix features
+  /// through the trained table (core/plan_select) at zero modelled
+  /// planning cost; Exact runs the legacy candidate sweep, whose extra
+  /// profiling runs are charged via CachedPlan::build_ms.
+  SelectionMode selection = SelectionMode::Predict;
+  /// Online refinement (Predict only): forwarded to
+  /// AutotuneOptions::retune_regret — escalate a prediction to the exact
+  /// sweep when its priced time exceeds this factor of the fixed rule's.
+  /// 0 disables; (0, 1] verifies every prediction (the property suite's
+  /// mispredict-counting mode); > 1 retunes only clear regressions.
+  double retune_regret = 0.0;
   /// Simulator block-sampling budget per candidate.
   std::uint64_t sample_blocks = 512;
+  /// Master switch: false turns the cache into a pure build path — every
+  /// acquire misses and hands back an uncached plan, nothing is retained.
+  /// The cold-start benches measure planning cost per request with this.
+  bool enabled = true;
   /// Plan widths are quantized up to a multiple of this before lookup, so
   /// variable batch compositions (16+32, 3x16, ...) share plans instead of
   /// each paying a candidate sweep. One warp covers 32 output columns with
@@ -97,8 +125,20 @@ struct PlanCacheStats {
   std::uint64_t inserts = 0;
   std::uint64_t evictions = 0;
   /// Builds handed back uncached because the budget was full of pinned
-  /// plans.
+  /// plans, or because the cache is disabled (every disabled-cache build
+  /// counts here and in `misses`).
   std::uint64_t uncached_builds = 0;
+  /// Tuner builds whose kernel came from the trained predictor vs. the
+  /// exact candidate sweep. Fixed-rule builds (non-sum reductions,
+  /// autotune=false) count in neither; a build that retuned counts as
+  /// exact (the sweep decided).
+  std::uint64_t predicted_builds = 0;
+  std::uint64_t exact_builds = 0;
+  /// Predict-path builds that escalated to the sweep (retune_regret), and
+  /// how many of those found the prediction strictly beaten — the online
+  /// refinement hook's mispredict counter.
+  std::uint64_t retunes = 0;
+  std::uint64_t mispredicts = 0;
   std::size_t size = 0;
   std::size_t peak_size = 0;
   /// Outstanding pins (PlanLease objects alive on resident plans).
@@ -192,6 +232,8 @@ class PlanCache {
   PlanKey quantized(const PlanKey& key) const;
   std::shared_ptr<CachedPlan> build(const PlanKey& key, const Csr& a,
                                     const gpusim::DeviceSpec& device) const;
+  /// Fold a freshly built plan into the selection counters (under mu_).
+  void note_build(const CachedPlan& plan);
   /// Move `e` to the most-recently-used end (call under mu_).
   void touch(Entry& e);
   void unpin(const PlanKey& key);
@@ -206,6 +248,10 @@ class PlanCache {
   std::uint64_t inserts_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t uncached_builds_ = 0;
+  std::uint64_t predicted_builds_ = 0;
+  std::uint64_t exact_builds_ = 0;
+  std::uint64_t retunes_ = 0;
+  std::uint64_t mispredicts_ = 0;
   std::size_t peak_size_ = 0;
   std::size_t pin_count_ = 0;
 };

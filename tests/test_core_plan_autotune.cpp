@@ -58,29 +58,41 @@ TEST(SpmmPlan, AdaptiveAlgoSelection) {
   EXPECT_EQ(plan.algo_for(256), SpmmAlgo::CrcCwm2);
 }
 
+// These sweep tests request SelectionMode::Exact explicitly: the default
+// is the trained predictor (see test_plan_select.cpp), which prices only
+// its chosen kernel and would not produce per-candidate times.
+AutotuneOptions exact_opts() {
+  AutotuneOptions opt;
+  opt.mode = SelectionMode::Exact;
+  return opt;
+}
+
 TEST(Autotune, DefaultRuleIsNearOptimalOnTypicalMatrices) {
   // The paper keeps CF=2 untuned because it loses >15% only rarely; the
   // tuner must confirm that on a typical matrix.
   const Csr a = sparse::uniform_random(8192, 8192, 65536, 507);
-  const auto res = autotune_spmm(a, 256);
+  const auto res = autotune_spmm(a, 256, exact_opts());
   EXPECT_EQ(res.default_choice, SpmmAlgo::CrcCwm2);
   EXPECT_GE(res.gain_over_default, 1.0);
   EXPECT_LT(res.gain_over_default, 1.15)
       << "fixed CF=2 should be within 15% of tuned on a uniform matrix";
   EXPECT_EQ(res.times_ms.size(), 4u);
+  EXPECT_FALSE(res.predicted);
+  EXPECT_GT(res.build_ms, 0.0) << "a 4-candidate sweep has selection cost";
 }
 
 TEST(Autotune, SmallNOnlyConsidersCrc) {
   const Csr a = sparse::uniform_random(1024, 1024, 8192, 508);
-  const auto res = autotune_spmm(a, 16);
+  const auto res = autotune_spmm(a, 16, exact_opts());
   EXPECT_EQ(res.best, SpmmAlgo::Crc);
   EXPECT_EQ(res.times_ms.size(), 1u);
   EXPECT_DOUBLE_EQ(res.gain_over_default, 1.0);
+  EXPECT_DOUBLE_EQ(res.build_ms, 0.0) << "one candidate: nothing to sweep";
 }
 
 TEST(Autotune, ReportsPerCandidateTimes) {
   const Csr a = sparse::uniform_random(4096, 4096, 32768, 509);
-  AutotuneOptions opt;
+  AutotuneOptions opt = exact_opts();
   opt.device = gpusim::rtx2080();
   const auto res = autotune_spmm(a, 128, opt);
   for (const auto& [algo, ms] : res.times_ms) {
