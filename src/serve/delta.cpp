@@ -1,0 +1,144 @@
+#include "serve/delta.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace gespmm::serve {
+
+namespace {
+
+void check_ref(const Csr& base, index_t row, index_t col, const char* what) {
+  if (row < 0 || row >= base.rows || col < 0 || col >= base.cols) {
+    throw std::invalid_argument(
+        std::string("DeltaOverlay::apply: ") + what + " (" +
+        std::to_string(row) + ", " + std::to_string(col) +
+        ") out of range for a " + std::to_string(base.rows) + "x" +
+        std::to_string(base.cols) + " operand");
+  }
+}
+
+/// The canonical form of one effective row: ascending column -> value.
+/// Pulling a base row in sums duplicate columns, so the map's iteration
+/// order *is* the storage (and accumulation) order of both the patch and
+/// any CSR materialized from it.
+using RowMap = std::map<index_t, value_t>;
+
+RowMap canonical_base_row(const Csr& base, index_t row) {
+  RowMap m;
+  const auto lo = static_cast<std::size_t>(base.rowptr[static_cast<std::size_t>(row)]);
+  const auto hi = static_cast<std::size_t>(base.rowptr[static_cast<std::size_t>(row) + 1]);
+  for (std::size_t p = lo; p < hi; ++p) m[base.colind[p]] += base.val[p];
+  return m;
+}
+
+}  // namespace
+
+std::shared_ptr<const DeltaOverlay> DeltaOverlay::apply(const Csr& base,
+                                                        const DeltaOverlay* prev,
+                                                        const EdgeBatch& batch) {
+  // Working form of every row this overlay will hold. Rows already in
+  // `prev` come over as-is (they are canonical); rows the batch touches
+  // for the first time canonicalize from the base.
+  std::map<index_t, RowMap> work;
+  if (prev != nullptr) {
+    for (std::size_t i = 0; i < prev->rows_.size(); ++i) {
+      RowMap& m = work[prev->rows_[i]];
+      const auto lo = static_cast<std::size_t>(prev->patch_.rowptr[i]);
+      const auto hi = static_cast<std::size_t>(prev->patch_.rowptr[i + 1]);
+      for (std::size_t p = lo; p < hi; ++p) {
+        m.emplace(prev->patch_.colind[p], prev->patch_.val[p]);
+      }
+    }
+  }
+  const auto effective_row = [&](index_t row) -> RowMap& {
+    auto it = work.find(row);
+    if (it == work.end()) {
+      it = work.emplace(row, canonical_base_row(base, row)).first;
+    }
+    return it->second;
+  };
+
+  for (const EdgeBatch::Edge& e : batch.inserts) {
+    check_ref(base, e.row, e.col, "insert");
+    effective_row(e.row)[e.col] = e.val;  // upsert: last write wins
+  }
+  for (const EdgeBatch::EdgeRef& d : batch.deletes) {
+    check_ref(base, d.row, d.col, "delete");
+    RowMap& m = effective_row(d.row);
+    const auto it = m.find(d.col);
+    if (it == m.end()) {
+      throw std::invalid_argument(
+          "DeltaOverlay::apply: delete of nonexistent edge (" +
+          std::to_string(d.row) + ", " + std::to_string(d.col) + ")");
+    }
+    m.erase(it);
+  }
+
+  auto overlay = std::shared_ptr<DeltaOverlay>(new DeltaOverlay());
+  overlay->rows_.reserve(work.size());
+  Csr& patch = overlay->patch_;
+  patch.rows = static_cast<index_t>(work.size());
+  patch.cols = base.cols;
+  patch.rowptr.assign(1, 0);
+  patch.rowptr.reserve(work.size() + 1);
+  for (const auto& [row, m] : work) {
+    overlay->rows_.push_back(row);
+    for (const auto& [col, val] : m) {
+      patch.colind.push_back(col);
+      patch.val.push_back(val);
+    }
+    patch.rowptr.push_back(patch.nnz());
+  }
+  return overlay;
+}
+
+index_t DeltaOverlay::effective_nnz(const Csr& base) const {
+  index_t n = base.nnz() + overlay_nnz();
+  for (const index_t row : rows_) n -= base.row_nnz(row);
+  return n;
+}
+
+bool DeltaOverlay::touches(index_t row_begin, index_t row_end) const {
+  const auto it = std::lower_bound(rows_.begin(), rows_.end(), row_begin);
+  return it != rows_.end() && *it < row_end;
+}
+
+Csr DeltaOverlay::materialize(const Csr& base) const {
+  return materialize_rows(base, 0, base.rows);
+}
+
+Csr DeltaOverlay::materialize_rows(const Csr& base, index_t row_begin,
+                                   index_t row_end) const {
+  Csr out;
+  out.rows = row_end - row_begin;
+  out.cols = base.cols;
+  out.rowptr.assign(1, 0);
+  out.rowptr.reserve(static_cast<std::size_t>(out.rows) + 1);
+  // Walk base rows and touched rows in lockstep (both ascending).
+  auto touched = std::lower_bound(rows_.begin(), rows_.end(), row_begin);
+  for (index_t row = row_begin; row < row_end; ++row) {
+    if (touched != rows_.end() && *touched == row) {
+      const auto pi = static_cast<std::size_t>(touched - rows_.begin());
+      const auto lo = static_cast<std::size_t>(patch_.rowptr[pi]);
+      const auto hi = static_cast<std::size_t>(patch_.rowptr[pi + 1]);
+      out.colind.insert(out.colind.end(), patch_.colind.begin() + static_cast<std::ptrdiff_t>(lo),
+                        patch_.colind.begin() + static_cast<std::ptrdiff_t>(hi));
+      out.val.insert(out.val.end(), patch_.val.begin() + static_cast<std::ptrdiff_t>(lo),
+                     patch_.val.begin() + static_cast<std::ptrdiff_t>(hi));
+      ++touched;
+    } else {
+      const auto lo = static_cast<std::size_t>(base.rowptr[static_cast<std::size_t>(row)]);
+      const auto hi = static_cast<std::size_t>(base.rowptr[static_cast<std::size_t>(row) + 1]);
+      out.colind.insert(out.colind.end(), base.colind.begin() + static_cast<std::ptrdiff_t>(lo),
+                        base.colind.begin() + static_cast<std::ptrdiff_t>(hi));
+      out.val.insert(out.val.end(), base.val.begin() + static_cast<std::ptrdiff_t>(lo),
+                     base.val.begin() + static_cast<std::ptrdiff_t>(hi));
+    }
+    out.rowptr.push_back(out.nnz());
+  }
+  return out;
+}
+
+}  // namespace gespmm::serve

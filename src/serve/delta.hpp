@@ -1,0 +1,124 @@
+#pragma once
+/// \file delta.hpp
+/// Batched edge insert/delete overlays against a registered CSR — the
+/// dynamic-graph update path of the serving engine.
+///
+/// A streaming workload mutates its graph in small batches while requests
+/// keep flowing; re-registering the whole operand per batch would pay an
+/// O(nnz) fingerprint pass, a full shard re-plan and a cold plan build for
+/// every shard on every update. A `DeltaOverlay` instead holds only the
+/// *touched rows* in their post-update form: requests execute against the
+/// unchanged base CSR and then overwrite the touched rows' output slice
+/// from a patch kernel run, which is bitwise identical to running the
+/// fully materialized (compacted) CSR because both see the same canonical
+/// per-row storage order (see below). Once the overlay grows past a
+/// configurable fraction of the base nnz, the engine *compacts*: the
+/// overlay is folded into a fresh CSR, the overlay empties, and plan
+/// identities roll forward (see GraphFingerprint::version).
+///
+/// Canonical row order: the first time a row is pulled into the overlay
+/// its entries are re-sorted to ascending column order (duplicate columns
+/// summed). The materialized CSR copies untouched base rows verbatim and
+/// touched rows from the overlay, so overlay execution and post-compaction
+/// execution run identical per-row accumulation orders — the bitwise
+/// contract `bench_serve_dynamic` and the dynamic test suite pin. A base
+/// whose rows are already sorted (every dataset generator here) keeps its
+/// exact values; an unsorted base changes only the touched rows' summation
+/// order, never the result's mathematical value.
+///
+/// Overlays are immutable: `apply` returns a fresh overlay folding one
+/// more batch over a previous one, so in-flight requests keep executing
+/// the snapshot they captured at submit while the registry moves on.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/fingerprint.hpp"
+
+namespace gespmm::serve {
+
+using sparse::value_t;
+
+/// One batch of edge mutations against a registered graph. Inserts are
+/// upserts: an edge that already exists has its value overwritten.
+/// Deletes must name an existing edge (of the *effective* graph, overlay
+/// included) or `DeltaOverlay::apply` throws std::invalid_argument — a
+/// silent no-op delete would let producer/consumer drift go unnoticed.
+/// Within one batch, inserts apply before deletes.
+struct EdgeBatch {
+  struct Edge {
+    index_t row = 0;
+    index_t col = 0;
+    value_t val = 0.0f;
+  };
+  struct EdgeRef {
+    index_t row = 0;
+    index_t col = 0;
+  };
+  std::vector<Edge> inserts;
+  std::vector<EdgeRef> deletes;
+
+  bool empty() const { return inserts.empty() && deletes.empty(); }
+};
+
+/// When the engine folds an overlay back into a fresh CSR.
+struct DeltaOptions {
+  /// Compact once the overlay's resident nnz exceeds this fraction of the
+  /// base CSR's nnz. Smaller = fresher plans but more O(nnz) compaction
+  /// passes; 0 compacts on every update (the always-re-register baseline
+  /// bench_serve_dynamic beats).
+  double compact_nnz_fraction = 0.25;
+};
+
+/// An immutable set of touched rows in their post-update form, held as a
+/// compact CSR "patch" plus the base row index of each patch row.
+class DeltaOverlay {
+ public:
+  /// Fold `batch` over `prev` (nullptr = clean graph) against `base`.
+  /// Validates every reference against the base shape and the
+  /// delete-must-exist contract; throws std::invalid_argument on a
+  /// violation, in which case no overlay is produced (strong guarantee).
+  static std::shared_ptr<const DeltaOverlay> apply(const Csr& base,
+                                                   const DeltaOverlay* prev,
+                                                   const EdgeBatch& batch);
+
+  /// Base row index of each patch row, ascending. A row stays touched for
+  /// the overlay's lifetime even if an update restores its base content.
+  const std::vector<index_t>& rows() const { return rows_; }
+
+  /// The touched rows as a standalone CSR: rows().size() rows, the base's
+  /// column count, each row in canonical ascending-column order. Running
+  /// the host kernel on it yields the touched rows of the effective
+  /// output; scattering those over the base kernel's output is the
+  /// engine's merged-at-execution-time path.
+  const Csr& patch() const { return patch_; }
+
+  /// Resident overlay nnz (the compaction-policy quantity).
+  index_t overlay_nnz() const { return patch_.nnz(); }
+
+  /// nnz of the effective (base + overlay) graph.
+  index_t effective_nnz(const Csr& base) const;
+
+  /// True when any touched row falls in [row_begin, row_end) — the
+  /// shard-replan predicate.
+  bool touches(index_t row_begin, index_t row_end) const;
+
+  /// The full effective CSR: untouched base rows verbatim, touched rows
+  /// from the patch. One O(nnz) pass — the compaction step.
+  Csr materialize(const Csr& base) const;
+
+  /// Rows [row_begin, row_end) of the effective CSR as a standalone
+  /// rebased slice (the shard slice-rebuild input; same layout contract
+  /// as GraphShard::csr).
+  Csr materialize_rows(const Csr& base, index_t row_begin,
+                       index_t row_end) const;
+
+ private:
+  DeltaOverlay() = default;
+
+  std::vector<index_t> rows_;
+  Csr patch_;
+};
+
+}  // namespace gespmm::serve

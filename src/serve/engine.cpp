@@ -147,12 +147,17 @@ GraphId Engine::register_graph(const Csr& a) {
   if (graphs_.contains(key)) {
     ++stats_.register_dedup_hits;
   } else {
-    graphs_.emplace(key,
-                    RegisteredGraph{std::make_shared<const Csr>(a), shards});
+    graphs_.emplace(key, RegisteredGraph{std::make_shared<const Csr>(a),
+                                         shards, nullptr, fp, key});
     ++stats_.graphs_registered;
     if (shards) ++stats_.graphs_sharded;
   }
   return GraphId{key};
+}
+
+std::shared_ptr<const Csr> Engine::effective_graph(const RegisteredGraph& g) {
+  if (g.overlay == nullptr) return g.csr;
+  return std::make_shared<const Csr>(g.overlay->materialize(*g.csr));
 }
 
 std::shared_ptr<const Csr> Engine::graph(GraphId id) const {
@@ -161,7 +166,17 @@ std::shared_ptr<const Csr> Engine::graph(GraphId id) const {
   if (it == graphs_.end()) {
     throw std::invalid_argument("Engine::graph: unknown graph handle");
   }
-  return it->second.csr;
+  return effective_graph(it->second);
+}
+
+GraphFingerprint Engine::graph_fingerprint(GraphId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graphs_.find(id.key);
+  if (it == graphs_.end()) {
+    throw std::invalid_argument(
+        "Engine::graph_fingerprint: unknown graph handle");
+  }
+  return it->second.fp;
 }
 
 std::shared_ptr<const ShardPlan> Engine::shard_plan(GraphId id) const {
@@ -175,6 +190,7 @@ std::shared_ptr<const ShardPlan> Engine::shard_plan(GraphId id) const {
 
 ModelId Engine::register_model(GraphId graph, ModelSpec spec) {
   std::shared_ptr<const Csr> g;
+  std::uint64_t graph_key = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = graphs_.find(graph.key);
@@ -186,21 +202,32 @@ ModelId Engine::register_model(GraphId graph, ModelSpec spec) {
           "Engine::register_model: graph is sharded across devices; model "
           "serving needs the whole operand resident on one device");
     }
-    g = it->second.csr;
+    // Models bind to the graph's *current* state: the effective CSR and
+    // the version-bearing key, so an update (which rebinds by matching
+    // this key) can find and recompile them.
+    g = effective_graph(it->second);
+    graph_key = it->second.current_key;
   }
-  // Compile (and content-hash the parameters) outside the lock; graphs
-  // are never unregistered, so the handle stays valid.
-  ModelPlan plan = compile_model(graph.key, *g, spec);
+  // Compile (and content-hash the parameters) outside the lock. The
+  // snapshot shared_ptr keeps the operand alive and consistent even if an
+  // apply_update replaces the registry's CSR meanwhile; the dedup check
+  // below then simply re-runs against whatever is registered.
+  ModelPlan plan = compile_model(graph_key, *g, spec);
   const std::uint64_t key = plan.key;
   auto model = std::make_shared<const RegisteredModel>(
       RegisteredModel{std::move(plan), std::move(spec), std::move(g)});
   std::lock_guard<std::mutex> lock(mu_);
-  if (models_.contains(key)) {
-    ++stats_.model_register_dedup_hits;
-  } else {
-    models_.emplace(key, std::move(model));
-    ++stats_.models_registered;
+  // Content dedup scans values rather than map keys: after an update
+  // rebinds a model, its registry key (the stable ModelId) no longer
+  // equals its recompiled plan.key.
+  for (const auto& [mid, m] : models_) {
+    if (m->plan.key == key) {
+      ++stats_.model_register_dedup_hits;
+      return ModelId{mid};
+    }
   }
+  models_.emplace(key, std::move(model));
+  ++stats_.models_registered;
   return ModelId{key};
 }
 
@@ -215,7 +242,6 @@ std::shared_ptr<const RegisteredModel> Engine::model(ModelId id) const {
 
 Ticket Engine::submit(GraphId id, DenseMatrix b, const SubmitOptions& options) {
   auto state = std::make_shared<detail::RequestState>();
-  state->graph_key = id.key;
   state->reduce = options.reduce;
   state->priority = options.priority;
   state->tenant = tenant_index(options.tenant);
@@ -232,7 +258,13 @@ Ticket Engine::submit(GraphId id, DenseMatrix b, const SubmitOptions& options) {
     if (it == graphs_.end()) {
       throw std::invalid_argument("Engine::submit: unknown graph handle");
     }
+    // Snapshot the graph's current state and identity: the version-
+    // bearing key means requests straddling an apply_update land in
+    // different scheduler queues (never one batch), and the captured
+    // base/overlay/shards stay valid however the registry moves on.
+    state->graph_key = it->second.current_key;
     state->graph = it->second.csr;
+    state->overlay = it->second.overlay;
     state->shards = it->second.shards;
     if (b.rows() != state->graph->cols) {
       throw std::invalid_argument("Engine::submit: B must have A.cols rows");
@@ -255,8 +287,9 @@ Ticket Engine::submit(GraphId id, DenseMatrix b, const SubmitOptions& options) {
       ++stats_.tenants[state->tenant].shed;
     } else {
       state->seq = next_seq_++;
-      scheduler_.enqueue({state->seq, id.key, state->b.cols(), options.reduce,
-                          options.priority, /*model=*/false, state->tenant});
+      scheduler_.enqueue({state->seq, state->graph_key, state->b.cols(),
+                          options.reduce, options.priority, /*model=*/false,
+                          state->tenant});
       pending_states_.emplace(state->seq, state);
       ++stats_.submitted;
       ++stats_.tenants[state->tenant].submitted;
@@ -269,6 +302,7 @@ Ticket Engine::submit(GraphId id, DenseMatrix b, const SubmitOptions& options) {
     // ticket.
     state->b = DenseMatrix();
     state->graph.reset();
+    state->overlay.reset();
     state->shards.reset();
     RequestResult res;
     res.status = RequestStatus::Shed;
@@ -366,25 +400,139 @@ Ticket Engine::submit_model(ModelId id, DenseMatrix features,
   return Ticket(state);
 }
 
-Ticket Engine::submit(GraphId id, DenseMatrix b, ReduceKind reduce) {
-  SubmitOptions options;
-  options.reduce = reduce;
-  return submit(id, std::move(b), options);
-}
+UpdateReport Engine::apply_update(GraphId id, const EdgeBatch& batch) {
+  // The whole update runs under mu_: it serializes with submissions, so a
+  // request sees either the old state or the new one, never a mix. The
+  // O(touched)/O(nnz) work this holds the lock for is the price of that
+  // atomicity; updates are expected to be far rarer than submits.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutting_down_) {
+    throw std::runtime_error("Engine::apply_update: engine is shut down");
+  }
+  auto it = graphs_.find(id.key);
+  if (it == graphs_.end()) {
+    throw std::invalid_argument("Engine::apply_update: unknown graph handle");
+  }
+  RegisteredGraph& g = it->second;
+  const std::uint64_t old_key = g.current_key;
 
-Ticket Engine::submit(GraphId id, DenseMatrix b, ReduceKind reduce,
-                      Priority priority) {
-  SubmitOptions options;
-  options.reduce = reduce;
-  options.priority = priority;
-  return submit(id, std::move(b), options);
-}
+  // Fold the batch (throws on a contract violation before any state
+  // mutates — strong guarantee).
+  std::shared_ptr<const DeltaOverlay> overlay =
+      DeltaOverlay::apply(*g.csr, g.overlay.get(), batch);
 
-Ticket Engine::submit_model(ModelId id, DenseMatrix features,
-                            Priority priority) {
-  SubmitOptions options;
-  options.priority = priority;
-  return submit_model(id, std::move(features), options);
+  UpdateReport rep;
+  GraphFingerprint fp = g.fp;
+  fp.version += 1;
+  rep.version = fp.version;
+
+  const bool compact =
+      static_cast<double>(overlay->overlay_nnz()) >
+      opt_.delta.compact_nnz_fraction * static_cast<double>(g.csr->nnz());
+
+  std::size_t capacity = opt_.sharding.device_capacity_bytes;
+  if (capacity == 0) {
+    capacity = opt_.devices.front().dram_bytes;
+    for (const auto& dev : opt_.devices) {
+      capacity = std::min(capacity, dev.dram_bytes);
+    }
+  }
+
+  // Compute the graph's next state fully before committing anything, so a
+  // capacity failure below leaves the registry untouched.
+  std::shared_ptr<const Csr> new_csr = g.csr;
+  std::shared_ptr<const DeltaOverlay> new_overlay = overlay;
+  std::shared_ptr<const ShardPlan> new_shards = g.shards;
+  std::vector<std::uint64_t> stale_keys;  // plan-cache keys to invalidate
+
+  if (compact) {
+    // Fold the overlay into a fresh CSR; the structural fingerprint
+    // fields refresh here (the O(nnz) pass is being paid anyway) while
+    // the bumped version carries forward, keeping the compacted identity
+    // distinct from any static registration of the same content.
+    auto compacted = std::make_shared<const Csr>(overlay->materialize(*g.csr));
+    const GraphFingerprint structural = fingerprint(*compacted);
+    fp = structural;
+    fp.version = rep.version;
+    new_csr = std::move(compacted);
+    new_overlay = nullptr;
+    rep.compacted = true;
+  }
+
+  if (g.shards != nullptr) {
+    // Sharded path: the row partition stays fixed between compactions and
+    // only the touched slices rebuild (their content-addressed keys roll
+    // forward by themselves); a compaction re-balances the partition from
+    // scratch, like registration would.
+    auto plan = std::make_shared<ShardPlan>();
+    if (compact) {
+      *plan = plan_shards(*new_csr, static_cast<int>(opt_.devices.size()));
+      if (plan->max_shard_bytes() > capacity) {
+        throw std::runtime_error(
+            "Engine::apply_update: compacted operand does not fit even "
+            "sharded " + std::to_string(opt_.devices.size()) + " ways");
+      }
+      for (const auto& s : g.shards->shards) stale_keys.push_back(s.key);
+      rep.shards_replanned = plan->num_shards();
+    } else {
+      *plan = *g.shards;
+      for (GraphShard& s : plan->shards) {
+        if (!overlay->touches(s.row_begin, s.row_end)) continue;
+        stale_keys.push_back(s.key);
+        Csr slice = overlay->materialize_rows(*g.csr, s.row_begin, s.row_end);
+        s = make_shard_from_slice(std::move(slice), s.index, s.row_begin,
+                                  s.row_end);
+        ++rep.shards_replanned;
+      }
+      if (plan->max_shard_bytes() > capacity) {
+        throw std::runtime_error(
+            "Engine::apply_update: a grown shard no longer fits its "
+            "device; lower DeltaOptions::compact_nnz_fraction");
+      }
+    }
+    plan->graph_key = fp.key();
+    new_shards = std::move(plan);
+  } else {
+    if (csr_bytes(*new_csr) > capacity && compact) {
+      throw std::runtime_error(
+          "Engine::apply_update: compacted operand exceeds the device "
+          "capacity (updates cannot re-shard an unsharded graph)");
+    }
+    // Unsharded plans key on the graph's current fingerprint key, so the
+    // version bump already reroutes new batches; erase the now-stale old
+    // generation eagerly instead of waiting for LRU pressure.
+    stale_keys.push_back(old_key);
+  }
+
+  // Commit.
+  g.csr = std::move(new_csr);
+  g.overlay = std::move(new_overlay);
+  g.shards = std::move(new_shards);
+  g.fp = fp;
+  g.current_key = fp.key();
+  rep.overlay_nnz = g.overlay == nullptr ? 0 : g.overlay->overlay_nnz();
+
+  for (const std::uint64_t k : stale_keys) {
+    rep.plans_invalidated += plan_cache_.invalidate(k);
+  }
+
+  // Rebind models compiled against the pre-update state: recompile over
+  // the new effective CSR under the same registry key, so ModelId handles
+  // stay stable. In-flight model tickets hold their own RegisteredModel
+  // (and with it the old CSR snapshot) and finish against it.
+  const std::shared_ptr<const Csr> effective = effective_graph(g);
+  for (auto& kv : models_) {
+    std::shared_ptr<const RegisteredModel>& m = kv.second;
+    if (m->plan.graph_key != old_key) continue;
+    ModelPlan plan = compile_model(g.current_key, *effective, m->spec);
+    m = std::make_shared<const RegisteredModel>(
+        RegisteredModel{std::move(plan), m->spec, effective});
+  }
+
+  ++stats_.graph_updates;
+  if (rep.compacted) ++stats_.graph_compactions;
+  stats_.shards_replanned += static_cast<std::uint64_t>(rep.shards_replanned);
+  return rep;
 }
 
 void Engine::start() {
@@ -419,6 +567,7 @@ EngineStats Engine::stats() const {
   st.plan_exact_builds = ps.exact_builds;
   st.plan_retunes = ps.retunes;
   st.plan_mispredicts = ps.mispredicts;
+  st.plan_invalidations = ps.invalidations;
   return st;
 }
 
@@ -498,7 +647,7 @@ void Engine::execute_batch(std::vector<std::shared_ptr<detail::RequestState>> ba
   // The lease pins the plan for the duration of the batch: an in-flight
   // plan is never evicted, so concurrent same-shape batches hit.
   const PlanKey key{batch.front()->graph_key, dev.name, total_n, reduce};
-  const PlanLease lease = plan_cache_.acquire(key, a, dev);
+  PlanLease lease = plan_cache_.acquire(key, a, dev);
   const bool hit = lease.hit();
   const auto plan = lease.plan();
   // A cold miss pays for the selection itself: the sweep's profiling runs
@@ -508,6 +657,25 @@ void Engine::execute_batch(std::vector<std::shared_ptr<detail::RequestState>> ba
 
   DenseMatrix c_all(a.rows, total_n);
   kernels::spmm_host_parallel(a, *b_all, c_all, reduce);
+
+  // Dynamic overlay: touched rows' outputs are recomputed from their
+  // post-update (canonical) form and overwrite the base kernel's rows.
+  // Overlay rows are complete replacements, so this is bitwise identical
+  // to running the materialized CSR — the patch rows run the same
+  // per-row accumulation order compaction would store. The plan (and its
+  // modelled time) stays priced on the base: the overlay is bounded by
+  // the compaction fraction, so the base shape dominates.
+  if (const DeltaOverlay* ov = batch.front()->overlay.get()) {
+    const Csr& patch = ov->patch();
+    DenseMatrix c_patch(patch.rows, total_n);
+    kernels::spmm_host_parallel(patch, *b_all, c_patch, reduce);
+    const std::vector<index_t>& prows = ov->rows();
+    for (index_t i = 0; i < patch.rows; ++i) {
+      for (index_t j = 0; j < total_n; ++j) {
+        c_all.at(prows[static_cast<std::size_t>(i)], j) = c_patch.at(i, j);
+      }
+    }
+  }
 
   // Account the batch before fulfilling tickets: once a ticket reads
   // ready, its batch is visible in stats(). completed_at is the device's
@@ -538,6 +706,13 @@ void Engine::execute_batch(std::vector<std::shared_ptr<detail::RequestState>> ba
       }
     }
   }
+
+  // Drop the pin before any waiter can wake: once a ticket's wait()
+  // returns, this batch holds no plan-cache pins, so a caller that
+  // quiesces the engine and then calls apply_update gets deterministic
+  // targeted invalidation (a pinned entry would survive it). The sharded
+  // and model paths already scope their leases per shard / per layer.
+  lease.release();
 
   index_t col0 = 0;
   for (const auto& r : batch) {

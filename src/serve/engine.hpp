@@ -48,6 +48,15 @@
 /// aggregate over one device's resident CSR, so they cannot (yet) be
 /// registered against a sharded graph.
 ///
+/// Dynamic graphs (`apply_update`) keep a registered operand live under
+/// streaming edge inserts/deletes: batches fold into a per-graph delta
+/// overlay (merged into outputs at execution time), the graph's
+/// fingerprint *version* bumps so plan and batch identities roll forward,
+/// stale plans are invalidated targeted (only the updated graph's keys —
+/// only the touched shards' keys when sharded), and the overlay
+/// periodically compacts into a fresh CSR. Handles stay stable; requests
+/// in flight across an update execute the snapshot they captured.
+///
 /// Ticket contract for shed requests: `wait()` NEVER throws and never
 /// blocks — it returns a `RequestResult` with `status ==
 /// RequestStatus::Shed`, the shedding `ShedReason`, and an empty (0 x 0)
@@ -71,6 +80,7 @@
 
 #include "serve/admission.hpp"
 #include "serve/batch.hpp"
+#include "serve/delta.hpp"
 #include "serve/fingerprint.hpp"
 #include "serve/model_plan.hpp"
 #include "serve/plan_cache.hpp"
@@ -123,6 +133,9 @@ struct ServeOptions {
   std::map<std::string, TenantConfig> tenants;
   /// Cross-device sharding policy for oversized graphs.
   ShardingOptions sharding;
+  /// Dynamic-update policy: when `apply_update` overlays compact back
+  /// into a fresh CSR (see delta.hpp).
+  DeltaOptions delta;
   /// Construct with workers parked: nothing executes until `start()` (or
   /// `shutdown()`, which drains). Deterministic harnesses use this to
   /// fix batch composition independent of submission timing.
@@ -167,11 +180,18 @@ struct ModelId {
 };
 
 /// A registered model: its compiled plan, its parameters, and the graph
-/// it aggregates over. Immutable once registered; shared between the
+/// it aggregates over. Immutable once compiled; shared between the
 /// registry, in-flight requests and introspecting callers.
 struct RegisteredModel {
   ModelPlan plan;
   ModelSpec spec;
+  /// The adjacency *snapshot* this compilation aggregates over — an
+  /// explicit shared_ptr hold, not a registry lookup. `apply_update`
+  /// rebinds the registry entry to a recompiled model over the new graph
+  /// state, but an in-flight `submit_model` ticket that captured this
+  /// RegisteredModel keeps both the plan and this CSR alive and
+  /// consistent until it completes: model tickets racing an update
+  /// execute the version they were admitted against.
   std::shared_ptr<const Csr> graph;
 };
 
@@ -239,12 +259,38 @@ struct RequestResult {
   double composed_ms = 0.0;
 };
 
+/// What one `Engine::apply_update` call did — returned to the caller so
+/// streaming producers can observe compaction and invalidation behaviour
+/// without polling stats.
+struct UpdateReport {
+  /// The graph's fingerprint version after this update (bumps by 1 per
+  /// applied batch, monotonic across compactions).
+  std::uint64_t version = 0;
+  /// The overlay crossed `DeltaOptions::compact_nnz_fraction` and was
+  /// folded into a fresh CSR (resetting the overlay to empty).
+  bool compacted = false;
+  /// Shard slices rebuilt: the shards whose row ranges the batch touched,
+  /// or all of them on a compaction re-plan. 0 for an unsharded graph.
+  int shards_replanned = 0;
+  /// Stale plan-cache entries erased by the update's targeted
+  /// invalidation (pinned entries survive; see PlanCache::invalidate).
+  std::size_t plans_invalidated = 0;
+  /// Overlay nnz resident after the update (0 right after a compaction).
+  index_t overlay_nnz = 0;
+};
+
 namespace detail {
 /// Shared state between a Ticket and the worker that fulfills it.
 struct RequestState {
+  /// The graph's *current* (version-bearing) fingerprint key at submit
+  /// time — the plan-cache and coalescing identity, so requests straddling
+  /// an update never share a batch.
   std::uint64_t graph_key = 0;
   std::uint64_t seq = 0;
   std::shared_ptr<const Csr> graph;
+  /// Pending edge overlay snapshot (nullptr when the graph is clean);
+  /// execute_batch merges its touched rows over the base kernel's output.
+  std::shared_ptr<const DeltaOverlay> overlay;
   /// Set when the graph is sharded: the execution plan for the scatter/
   /// gather path.
   std::shared_ptr<const ShardPlan> shards;
@@ -346,6 +392,17 @@ struct EngineStats {
   std::uint64_t register_dedup_hits = 0;
   /// Registered graphs that were row-partitioned across the device group.
   std::uint64_t graphs_sharded = 0;
+  /// apply_update() calls (edge batches folded into overlays).
+  std::uint64_t graph_updates = 0;
+  /// Updates whose overlay crossed the compaction fraction and was folded
+  /// into a fresh CSR.
+  std::uint64_t graph_compactions = 0;
+  /// Shard slices rebuilt by updates (touched shards only, all shards on
+  /// a compaction re-plan).
+  std::uint64_t shards_replanned = 0;
+  /// Stale plan-cache entries erased by targeted invalidation — mirrored
+  /// from PlanCacheStats::invalidations.
+  std::uint64_t plan_invalidations = 0;
   std::uint64_t models_registered = 0;
   /// register_model() calls answered by an identical registered model.
   std::uint64_t model_register_dedup_hits = 0;
@@ -424,9 +481,18 @@ class Engine {
   /// Throws std::runtime_error on malformed CSR.
   GraphId register_graph(const Csr& a);
 
-  /// The registered operand for `id`. Throws std::invalid_argument for an
-  /// unknown handle.
+  /// The *effective* operand for `id`: the registered CSR with any
+  /// pending update overlay folded in (an O(nnz) materialization when an
+  /// overlay is resident; the stored CSR otherwise). Throws
+  /// std::invalid_argument for an unknown handle.
   std::shared_ptr<const Csr> graph(GraphId id) const;
+
+  /// The current fingerprint of `id`, version included — `key()` of the
+  /// returned value is the identity plan-cache keys and batches are
+  /// formed under right now (it moves with every update; `GraphId::key`
+  /// is the stable handle and never changes). Throws
+  /// std::invalid_argument for an unknown handle.
+  GraphFingerprint graph_fingerprint(GraphId id) const;
 
   /// The shard plan for `id`, or nullptr when the graph fits one device
   /// and is served unsharded. Throws std::invalid_argument for an unknown
@@ -464,18 +530,28 @@ class Engine {
   Ticket submit_model(ModelId id, DenseMatrix features,
                       const SubmitOptions& options = {});
 
-  /// \deprecated Positional-tail form; forwards to the SubmitOptions
-  /// overload. Will be removed one release after the SubmitOptions API.
-  [[deprecated("use submit(id, b, SubmitOptions{.reduce = ...})")]]
-  Ticket submit(GraphId id, DenseMatrix b, ReduceKind reduce);
-  /// \deprecated See above.
-  [[deprecated(
-      "use submit(id, b, SubmitOptions{.reduce = ..., .priority = ...})")]]
-  Ticket submit(GraphId id, DenseMatrix b, ReduceKind reduce,
-                Priority priority);
-  /// \deprecated See above.
-  [[deprecated("use submit_model(id, features, SubmitOptions{.priority = ...})")]]
-  Ticket submit_model(ModelId id, DenseMatrix features, Priority priority);
+  /// Apply one batch of edge mutations to a registered graph, in place:
+  /// the batch folds into the graph's delta overlay (see delta.hpp), the
+  /// fingerprint version bumps (so the current plan/batch identity rolls
+  /// forward), stale plan-cache entries are invalidated *targeted* — only
+  /// this graph's keys, only the shards the batch touched when the graph
+  /// is sharded — and, once the overlay outgrows
+  /// `DeltaOptions::compact_nnz_fraction`, the overlay compacts into a
+  /// fresh CSR (sharded graphs then re-plan their row partition). Models
+  /// registered over the graph are recompiled against the new state under
+  /// their existing ModelId handles. `GraphId` handles remain valid and
+  /// stable across any number of updates.
+  ///
+  /// Concurrency contract: the update serializes with submissions;
+  /// requests admitted before it execute the snapshot they captured
+  /// (bitwise the pre-update graph), requests admitted after it see the
+  /// new state — no request ever observes a half-applied batch, and
+  /// pre/post-update requests never coalesce. Throws
+  /// std::invalid_argument for an unknown handle or a batch violating the
+  /// delta contract (out-of-range endpoint, delete of a missing edge; the
+  /// graph is untouched), std::runtime_error after shutdown or when a
+  /// compaction outgrows the device (or shard) capacity.
+  UpdateReport apply_update(GraphId id, const EdgeBatch& batch);
 
   /// Launch the worker threads (no-op when already running). Only needed
   /// after constructing with `start_paused`.
@@ -498,11 +574,19 @@ class Engine {
   const ServeOptions& options() const { return opt_; }
 
  private:
-  /// A registered operand: the full CSR plus its shard plan when the
-  /// operand exceeds one device's capacity.
+  /// A registered operand. The registry key is the *registration*
+  /// fingerprint key (stable, what GraphId carries); `fp`/`current_key`
+  /// roll forward with updates and are the identity plans and batches
+  /// form under. Between compactions `csr` stays the last compacted base
+  /// and `overlay` holds the pending touched rows; shard slices (when
+  /// sharded) are rebuilt eagerly per update, so they always hold
+  /// effective content.
   struct RegisteredGraph {
     std::shared_ptr<const Csr> csr;
-    std::shared_ptr<const ShardPlan> shards;  // nullptr when unsharded
+    std::shared_ptr<const ShardPlan> shards;    // nullptr when unsharded
+    std::shared_ptr<const DeltaOverlay> overlay;  // nullptr when clean
+    GraphFingerprint fp;
+    std::uint64_t current_key = 0;  // fp.key() (cached)
   };
 
   void worker_loop();
@@ -514,6 +598,9 @@ class Engine {
                      std::size_t device_index);
   /// Tenant index for `name`; throws std::invalid_argument when unknown.
   std::uint32_t tenant_index(const std::string& name) const;
+  /// The effective CSR of `g` (base with any overlay folded in). Call
+  /// under mu_; O(nnz) when an overlay is resident.
+  static std::shared_ptr<const Csr> effective_graph(const RegisteredGraph& g);
 
   ServeOptions opt_;
   /// Tenant contracts in sorted-name order (index = scheduler tenant id).

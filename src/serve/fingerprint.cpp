@@ -21,13 +21,18 @@ std::uint64_t GraphFingerprint::key() const {
                         static_cast<std::uint64_t>(cols));
   h = mix64(h, static_cast<std::uint64_t>(nnz));
   h = mix64(h, histogram_hash);
-  return mix64(h, content_hash);
+  h = mix64(h, content_hash);
+  // Version 0 keeps the classic four-field key so static-graph keys (and
+  // the absolute key goldens) are unchanged by the versioning feature.
+  if (version != 0) h = mix64(h, version);
+  return h;
 }
 
 std::string GraphFingerprint::str() const {
   std::ostringstream os;
   os << rows << "x" << cols << ", nnz=" << nnz << ", hist=" << std::hex
      << histogram_hash << ", content=" << content_hash;
+  if (version != 0) os << std::dec << ", v=" << version;
   return os.str();
 }
 

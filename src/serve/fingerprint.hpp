@@ -42,11 +42,22 @@ struct GraphFingerprint {
   /// Hash over rowptr/colind/val contents (catches same-shape,
   /// same-histogram operands with different structure or edge weights).
   std::uint64_t content_hash = 0;
+  /// Monotonically bumped by every `Engine::apply_update` against the
+  /// graph (and never reset, not even by compaction), so plan-cache and
+  /// model keys derived from `key()` self-invalidate across updates.
+  /// 0 for a freshly fingerprinted operand: a version-0 key is exactly
+  /// the classic four-field key, keeping pre-versioning goldens (and
+  /// cross-engine key stability for static graphs) intact. Between
+  /// compactions only `version` moves — the structural fields refresh at
+  /// the next compaction, where the O(nnz) pass is paid anyway.
+  std::uint64_t version = 0;
 
-  /// Single 64-bit key for hash maps; mixes all five fields.
+  /// Single 64-bit key for hash maps; mixes all structural fields, plus
+  /// `version` when non-zero.
   std::uint64_t key() const;
 
-  /// "rows x cols, nnz=…, hist=…, content=…" — for logs and stats dumps.
+  /// "rows x cols, nnz=…, hist=…, content=…[, v=…]" — for logs and stats
+  /// dumps.
   std::string str() const;
 
   bool operator==(const GraphFingerprint&) const = default;

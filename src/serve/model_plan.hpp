@@ -88,7 +88,11 @@ struct ModelPlan {
   /// Content fingerprint over (graph, kind, reduce, parameters) — the
   /// model registry key; identical re-registrations dedup on it.
   std::uint64_t key = 0;
-  /// GraphFingerprint::key() of the registered adjacency operand.
+  /// GraphFingerprint::key() of the registered adjacency operand — the
+  /// *versioned* key when the graph has taken streaming updates. An
+  /// `Engine::apply_update` recompiles the plan against the new key under
+  /// the model's existing handle, so a stale `graph_key` never outlives
+  /// the update that invalidated it.
   std::uint64_t graph_key = 0;
   ServedModelKind kind = ServedModelKind::Gcn;
   std::vector<LayerStep> layers;

@@ -125,14 +125,18 @@ PlanLease PlanCache::acquire(const PlanKey& raw_key, const Csr& a,
   auto plan = build(key, a, device);
 
   std::lock_guard<std::mutex> lock(mu_);
-  note_build(*plan);
   if (auto it = plans_.find(key); it != plans_.end()) {
-    // A racer inserted first; share the resident plan.
+    // A racer inserted first; share the resident plan and discard ours.
+    // The discarded build stays out of note_build's selection counters —
+    // the winner's build already counted, and a duplicate would break the
+    // `misses == inserts + uncached_builds + duplicate_builds` ledger.
+    ++duplicate_builds_;
     touch(it->second);
     ++it->second.pins;
     ++pin_count_;
     return PlanLease(it->second.plan, this, key, false);
   }
+  note_build(*plan);
   while (opt_.max_entries > 0 && plans_.size() >= opt_.max_entries) {
     // Evict the least recently used unpinned plan. The budget is a hard
     // ceiling: if every resident plan is pinned by an in-flight batch,
@@ -164,6 +168,22 @@ std::shared_ptr<const CachedPlan> PlanCache::lookup_or_build(
   return lease.plan();
 }
 
+std::size_t PlanCache::invalidate(std::uint64_t graph_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t erased = 0;
+  for (auto it = plans_.begin(); it != plans_.end();) {
+    if (it->first.graph == graph_key && it->second.pins == 0) {
+      lru_.erase(it->second.lru_it);
+      it = plans_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  invalidations_ += erased;
+  return erased;
+}
+
 PlanCacheStats PlanCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   PlanCacheStats st;
@@ -176,6 +196,8 @@ PlanCacheStats PlanCache::stats() const {
   st.exact_builds = exact_builds_;
   st.retunes = retunes_;
   st.mispredicts = mispredicts_;
+  st.duplicate_builds = duplicate_builds_;
+  st.invalidations = invalidations_;
   st.size = plans_.size();
   st.peak_size = peak_size_;
   st.pinned = pin_count_;

@@ -139,6 +139,16 @@ struct PlanCacheStats {
   /// refinement hook's mispredict counter.
   std::uint64_t retunes = 0;
   std::uint64_t mispredicts = 0;
+  /// Builds discarded because a racer inserted the same key first. These
+  /// count in neither the selection counters above nor `inserts` — the
+  /// winning build already covered both — so the miss ledger reconciles:
+  /// `misses == inserts + uncached_builds + duplicate_builds` at every
+  /// quiescent observation point.
+  std::uint64_t duplicate_builds = 0;
+  /// Entries erased by `invalidate()` (targeted staleness, e.g. a graph
+  /// update bumping its fingerprint version) — disjoint from `evictions`,
+  /// which counts LRU capacity pressure only.
+  std::uint64_t invalidations = 0;
   std::size_t size = 0;
   std::size_t peak_size = 0;
   /// Outstanding pins (PlanLease objects alive on resident plans).
@@ -207,6 +217,15 @@ class PlanCache {
       const PlanKey& key, const Csr& a, const gpusim::DeviceSpec& device,
       bool* was_hit = nullptr);
 
+  /// Erase every unpinned resident plan whose `PlanKey::graph` equals
+  /// `graph_key` (all devices, widths, reduces and shard indices), e.g.
+  /// because a graph update made that fingerprint stale. Pinned plans
+  /// survive — an in-flight batch that captured the old graph snapshot is
+  /// still executing it correctly — and age out via LRU once released.
+  /// Returns the number of entries erased (also summed into
+  /// `PlanCacheStats::invalidations`).
+  std::size_t invalidate(std::uint64_t graph_key);
+
   /// Full counter snapshot (consistent: taken under one lock).
   PlanCacheStats stats() const;
 
@@ -252,6 +271,8 @@ class PlanCache {
   std::uint64_t exact_builds_ = 0;
   std::uint64_t retunes_ = 0;
   std::uint64_t mispredicts_ = 0;
+  std::uint64_t duplicate_builds_ = 0;
+  std::uint64_t invalidations_ = 0;
   std::size_t peak_size_ = 0;
   std::size_t pin_count_ = 0;
 };

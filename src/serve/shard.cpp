@@ -17,18 +17,38 @@ std::size_t csr_bytes(const Csr& a) {
          a.val.size() * sizeof(value_t);
 }
 
-namespace {
-
-GraphShard make_shard(const Csr& a, int index, index_t row_begin,
-                      index_t row_end) {
+GraphShard make_shard_from_slice(Csr slice, int index, index_t row_begin,
+                                 index_t row_end) {
   GraphShard s;
   s.index = index;
   s.row_begin = row_begin;
   s.row_end = row_end;
+  s.csr = std::move(slice);
 
+  // Halo = distinct B rows this shard reads that other shards own under
+  // the matching row partition of B. Sort+unique a copy of the slice's
+  // colind, then count values outside the owned range.
+  std::vector<index_t> cols(s.csr.colind);
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  index_t halo = 0;
+  for (const index_t col : cols) {
+    if (col < row_begin || col >= row_end) ++halo;
+  }
+  s.halo_cols = halo;
+
+  s.fp = fingerprint(s.csr);
+  s.key = s.fp.key();
+  return s;
+}
+
+namespace {
+
+GraphShard make_shard(const Csr& a, int index, index_t row_begin,
+                      index_t row_end) {
   const auto nz0 = static_cast<std::size_t>(a.rowptr[static_cast<std::size_t>(row_begin)]);
   const auto nz1 = static_cast<std::size_t>(a.rowptr[static_cast<std::size_t>(row_end)]);
-  Csr& c = s.csr;
+  Csr c;
   c.rows = row_end - row_begin;
   c.cols = a.cols;
   c.rowptr.resize(static_cast<std::size_t>(c.rows) + 1);
@@ -40,22 +60,7 @@ GraphShard make_shard(const Csr& a, int index, index_t row_begin,
                   a.colind.begin() + static_cast<std::ptrdiff_t>(nz1));
   c.val.assign(a.val.begin() + static_cast<std::ptrdiff_t>(nz0),
                a.val.begin() + static_cast<std::ptrdiff_t>(nz1));
-
-  // Halo = distinct B rows this shard reads that other shards own under
-  // the matching row partition of B. Sort+unique a copy of the slice's
-  // colind, then count values outside the owned range.
-  std::vector<index_t> cols(c.colind);
-  std::sort(cols.begin(), cols.end());
-  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
-  index_t halo = 0;
-  for (const index_t col : cols) {
-    if (col < row_begin || col >= row_end) ++halo;
-  }
-  s.halo_cols = halo;
-
-  s.fp = fingerprint(c);
-  s.key = s.fp.key();
-  return s;
+  return make_shard_from_slice(std::move(c), index, row_begin, row_end);
 }
 
 }  // namespace

@@ -74,6 +74,16 @@ struct ShardPlan {
 /// Device-resident footprint of a CSR operand: rowptr + colind + val.
 std::size_t csr_bytes(const Csr& a);
 
+/// Build a GraphShard around an already-materialized row slice of some
+/// operand: computes the halo count, fingerprint and plan-cache key for
+/// `slice`, which must cover rows [row_begin, row_end) rebased to start
+/// at 0 (the GraphShard::csr layout). This is the dynamic-update path's
+/// shard rebuild: `Engine::apply_update` re-slices only the shards whose
+/// row ranges an edge batch touched (via DeltaOverlay::materialize_rows)
+/// while the partition boundaries stay fixed between compactions.
+GraphShard make_shard_from_slice(Csr slice, int index, index_t row_begin,
+                                 index_t row_end);
+
 /// Row-partition `a` into `num_shards` contiguous, nnz-balanced slices.
 /// Greedy walk: each shard closes once it holds its proportional share of
 /// the remaining nnz, while always leaving at least one row per remaining

@@ -430,63 +430,5 @@ TEST(ServeEngine, SubmitValidatesShapesAndHandles) {
   EXPECT_EQ(ok.wait().c.rows(), 32);
 }
 
-// The positional-tail submit overloads stay one release for migration;
-// they must keep forwarding faithfully to the SubmitOptions path until
-// they are removed. (In-tree callers have all moved — this coverage is
-// the only sanctioned use.)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(ServeEngine, DeprecatedPositionalOverloadsForwardFaithfully) {
-  Engine eng(deterministic_opts());
-  const Csr a = testutil::zoo_empty_rows();
-  const GraphId id = eng.register_graph(a);
-
-  Ticket t_reduce = eng.submit(id, features(a.cols, 4, 996),
-                               kernels::ReduceKind::Max);
-  Ticket t_prio = eng.submit(id, features(a.cols, 4, 997),
-                             kernels::ReduceKind::Mean,
-                             serve::Priority::Batch);
-  Ticket t_new = eng.submit(id, features(a.cols, 4, 997),
-                            {.reduce = kernels::ReduceKind::Mean,
-                             .priority = serve::Priority::Batch});
-  eng.shutdown();
-
-  DenseMatrix want_max(a.rows, 4);
-  spmm(a, features(a.cols, 4, 996), want_max, kernels::ReduceKind::Max);
-  EXPECT_EQ(t_reduce.wait().c.max_abs_diff(want_max), 0.0);
-
-  EXPECT_EQ(t_prio.wait().priority, serve::Priority::Batch);
-  EXPECT_EQ(t_prio.wait().c.max_abs_diff(t_new.wait().c), 0.0)
-      << "positional and SubmitOptions paths must serve identical results";
-}
-
-// The third deprecated positional overload, submit_model(id, x, priority),
-// must forward bitwise-identically too — same output, same priority — so
-// the scheduled removal next release cannot silently change behavior.
-TEST(ServeEngine, DeprecatedSubmitModelOverloadForwardsFaithfully) {
-  Engine eng(deterministic_opts());
-  const Csr a = sparse::uniform_random(48, 48, 384, 998);
-  const GraphId gid = eng.register_graph(a);
-  const serve::ModelSpec spec =
-      serve::make_model_spec(serve::ServedModelKind::Gcn, 8, 8, 4, 2);
-  const serve::ModelId mid = eng.register_model(gid, spec);
-
-  Ticket m_old =
-      eng.submit_model(mid, features(a.rows, 8, 999), serve::Priority::Batch);
-  Ticket m_new = eng.submit_model(mid, features(a.rows, 8, 999),
-                                  {.priority = serve::Priority::Batch});
-  eng.shutdown();
-
-  const serve::RequestResult& r_old = m_old.wait();
-  const serve::RequestResult& r_new = m_new.wait();
-  EXPECT_EQ(r_old.priority, serve::Priority::Batch);
-  EXPECT_EQ(r_new.priority, serve::Priority::Batch);
-  EXPECT_EQ(r_old.model_layers, r_new.model_layers);
-  EXPECT_EQ(r_old.c.max_abs_diff(r_new.c), 0.0)
-      << "positional submit_model must serve results bitwise-identical to "
-         "the SubmitOptions form";
-}
-#pragma GCC diagnostic pop
-
 }  // namespace
 }  // namespace gespmm

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "core/gespmm.hpp"
@@ -439,6 +440,64 @@ TEST(PlanCacheEviction, BudgetOneThrashStaysCorrect) {
   EXPECT_EQ(st.evictions, 19u);
   EXPECT_EQ(st.peak_size, 1u);
   EXPECT_EQ(reference.stats().hits, 18u);  // the unbounded cache reuses
+}
+
+// The miss ledger must reconcile exactly: every miss either inserted its
+// build, handed it back uncached (budget full of pins / cache disabled),
+// or lost the build race to a concurrent inserter (duplicate_builds). The
+// selection counters (predicted/exact) count kept builds only — a racer's
+// discarded build must not inflate them.
+TEST(PlanCacheAccounting, MissLedgerReconcilesSequentially) {
+  const Csr a = sparse::uniform_random(64, 64, 400, 804);
+  const auto dev = gpusim::gtx1080ti();
+  PlanCache cache(cache_opts(2));
+
+  cache.lookup_or_build(key_for(1, 32), a, dev);  // miss -> insert
+  cache.lookup_or_build(key_for(1, 32), a, dev);  // hit
+  serve::PlanLease p1 = cache.acquire(key_for(2, 32), a, dev);  // miss
+  serve::PlanLease p2 = cache.acquire(key_for(3, 32), a, dev);  // evicts 1
+  // Budget now full of pinned plans: an uncached build.
+  serve::PlanLease p3 = cache.acquire(key_for(4, 32), a, dev);
+  EXPECT_FALSE(p3.cached());
+
+  const auto st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 4u);
+  EXPECT_EQ(st.inserts, 3u);
+  EXPECT_EQ(st.uncached_builds, 1u);
+  EXPECT_EQ(st.duplicate_builds, 0u);  // no concurrency, no races
+  EXPECT_EQ(st.misses, st.inserts + st.uncached_builds + st.duplicate_builds);
+}
+
+TEST(PlanCacheAccounting, RacingBuildersReconcileAndKeepSelectionHonest) {
+  // Hammer a single cold key from many threads: exactly one build is
+  // kept; every loser must land in duplicate_builds, not in the selection
+  // counters (the pre-fix accounting noted every racer's build, breaking
+  // the predicted+exact == kept-builds identity).
+  const Csr a = sparse::uniform_random(64, 64, 400, 805);
+  const auto dev = gpusim::gtx1080ti();
+  PlanCacheOptions opt;  // autotune on: builds go through selection
+  opt.sample_blocks = 64;
+  PlanCache cache(opt);
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&] { cache.lookup_or_build(key_for(7, 32), a, dev); });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto st = cache.stats();
+  EXPECT_EQ(st.hits + st.misses, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(st.inserts, 1u);
+  EXPECT_EQ(st.uncached_builds, 0u);
+  EXPECT_EQ(st.misses, st.inserts + st.uncached_builds + st.duplicate_builds);
+  // Kept builds only: however many threads raced, selection ran the
+  // predictor exactly once for the one plan that survived.
+  EXPECT_EQ(st.predicted_builds + st.exact_builds, 1u);
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 // ---------------------------------------------------------------------------

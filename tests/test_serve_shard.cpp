@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <stdexcept>
 
 #include "core/gespmm.hpp"
@@ -152,6 +153,107 @@ TEST(ShardPlanner, RejectsImpossibleShardCounts) {
   EXPECT_THROW(serve::plan_shards(a, -1), std::invalid_argument);
   EXPECT_THROW(serve::plan_shards(a, 9), std::invalid_argument);
   EXPECT_EQ(serve::plan_shards(a, 8).num_shards(), 8);  // one row each
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate planning inputs
+
+/// Recompute a shard's halo count from first principles: distinct columns
+/// the slice references outside its owned row range.
+index_t reference_halo(const serve::GraphShard& s) {
+  std::set<index_t> outside;
+  for (const index_t col : s.csr.colind) {
+    if (col < s.row_begin || col >= s.row_end) outside.insert(col);
+  }
+  return static_cast<index_t>(outside.size());
+}
+
+TEST(ShardPlanner, FewerRowsThanGroupSizeThrows) {
+  // A device group wider than the row count cannot give every device a
+  // non-empty contiguous slice — the planner must refuse, not emit empty
+  // shards.
+  EXPECT_THROW(serve::plan_shards(testutil::zoo_single_entry(), 2),
+               std::invalid_argument);
+  EXPECT_THROW(serve::plan_shards(testutil::zoo_all_empty(), 7),
+               std::invalid_argument);
+  // Exactly one row per device is the boundary case and must plan.
+  const ShardPlan one_each =
+      serve::plan_shards(testutil::zoo_all_empty(), 6);
+  ASSERT_EQ(one_each.num_shards(), 6);
+  for (const auto& s : one_each.shards) {
+    EXPECT_EQ(s.rows(), 1);
+    EXPECT_EQ(s.nnz(), 0);
+    EXPECT_EQ(s.halo_cols, 0);  // nothing referenced, nothing gathered
+  }
+}
+
+TEST(ShardPlanner, ZeroNnzShardsPlanCleanly) {
+  // All-empty operand: every shard is structurally valid, contiguous,
+  // zero-nnz, zero-halo — and the kernel over each produces zero rows.
+  const Csr a = testutil::zoo_all_empty();  // 6x6, nnz 0
+  const ShardPlan plan = serve::plan_shards(a, 3);
+  ASSERT_EQ(plan.num_shards(), 3);
+  index_t row = 0;
+  for (const auto& s : plan.shards) {
+    EXPECT_EQ(s.row_begin, row);
+    EXPECT_GT(s.rows(), 0);
+    EXPECT_EQ(s.nnz(), 0);
+    EXPECT_EQ(s.halo_cols, 0);
+    s.csr.validate();
+    row = s.row_end;
+  }
+  EXPECT_EQ(row, a.rows);
+
+  const DenseMatrix b = features(a.cols, 5, 91);
+  for (const auto& s : plan.shards) {
+    DenseMatrix part(s.rows(), 5);
+    kernels::spmm_host_parallel(s.csr, b, part, ReduceKind::Sum);
+    EXPECT_EQ(part.max_abs_diff(DenseMatrix(s.rows(), 5)), 0.0);
+  }
+}
+
+TEST(ShardPlanner, AllNnzInOneRowSkewGoldens) {
+  // 6x6, all 6 nnz in row 2 (cols 0..5). The greedy nnz-balanced walk
+  // closes shard 0 right after the heavy row: rows [0,3) hold everything,
+  // rows [3,6) are a zero-nnz shard. Hand-built halo goldens: shard 0
+  // references cols {3,4,5} outside its range; shard 1 references nothing.
+  std::vector<index_t> r{2, 2, 2, 2, 2, 2};
+  std::vector<index_t> c{0, 1, 2, 3, 4, 5};
+  std::vector<value_t> v{1, 2, 3, 4, 5, 6};
+  const Csr a = sparse::csr_from_triplets(6, 6, r, c, v);
+
+  const ShardPlan plan = serve::plan_shards(a, 2);
+  ASSERT_EQ(plan.num_shards(), 2);
+  EXPECT_EQ(plan.shards[0].row_begin, 0);
+  EXPECT_EQ(plan.shards[0].row_end, 3);
+  EXPECT_EQ(plan.shards[1].row_begin, 3);
+  EXPECT_EQ(plan.shards[1].row_end, 6);
+  EXPECT_EQ(plan.shards[0].nnz(), 6);
+  EXPECT_EQ(plan.shards[1].nnz(), 0);
+  EXPECT_EQ(plan.shards[0].halo_cols, 3);  // cols 3, 4, 5
+  EXPECT_EQ(plan.shards[1].halo_cols, 0);
+  EXPECT_EQ(plan.shards[0].halo_cols, reference_halo(plan.shards[0]));
+}
+
+TEST(ShardPlanner, SkewedWideRowHaloMatchesReference) {
+  // zoo_wide_row concentrates ~500 of ~800 nnz in row 5 of a 64x512
+  // rectangle. Whatever partition the planner picks must cover the rows
+  // contiguously, keep every shard non-empty, conserve total nnz, and
+  // report exactly the halo the slice contents imply.
+  const Csr a = testutil::zoo_wide_row();
+  const ShardPlan plan = serve::plan_shards(a, 4);
+  ASSERT_EQ(plan.num_shards(), 4);
+  index_t row = 0, nnz = 0;
+  for (const auto& s : plan.shards) {
+    EXPECT_EQ(s.row_begin, row);
+    EXPECT_GT(s.rows(), 0);
+    EXPECT_EQ(s.halo_cols, reference_halo(s));
+    s.csr.validate();
+    row = s.row_end;
+    nnz += s.nnz();
+  }
+  EXPECT_EQ(row, a.rows);
+  EXPECT_EQ(nnz, a.nnz());
 }
 
 TEST(ShardEngine, OversizedGraphShardsAndMatchesUnshardedBitwise) {
