@@ -70,9 +70,20 @@ std::vector<Case> make_cases(bool quick) {
     cases.push_back({"uniform", sparse::uniform_random(2048, 2048, 8192, 800 + s)});
     cases.push_back({"uniform", sparse::uniform_random(1024, 1024, 65536, 810 + s)});
     cases.push_back({"rmat", sparse::rmat(10, 8.0, 0.57, 0.19, 0.19, 820 + s)});
+    // Dense-head power law: hub rows clear the MMA threshold so hybrid is
+    // a candidate, but the head is a small fraction of the rows and the
+    // hybrid pipe loses — the tree must separate this from pruned_dnn
+    // (dense_row_frac does it) instead of keying on mean_row_nnz alone.
+    cases.push_back({"rmat", sparse::rmat(12, 24.0, 0.45, 0.22, 0.22, 890 + s)});
     cases.push_back({"grid", sparse::grid_road(2048, 0.05, 830 + s)});
     cases.push_back({"block", block_diag(32, 32, 840 + s)});
     cases.push_back({"citation", sparse::citation_graph(2000, 8000, 850 + s)});
+    // Structured-block pruned-DNN family, both at device-filling scale
+    // (where the hybrid dense pipe wins) and small (where its
+    // window-per-block launch underfills and the selector must decline).
+    cases.push_back({"pruned_dnn", sparse::pruned_dnn(4096, 256, 16, 0.85, 860 + s)});
+    cases.push_back({"pruned_dnn", sparse::pruned_dnn(2048, 512, 16, 0.90, 870 + s)});
+    cases.push_back({"pruned_dnn", sparse::pruned_dnn(256, 256, 16, 0.85, 880 + s)});
   }
   return cases;
 }
@@ -91,8 +102,9 @@ GESPMM_BENCH(plan_select) {
   if (dump_path != nullptr) {
     dump.open(dump_path, std::ios::app);
     dump << "device,unified_l1,family,rows,cols,nnz,mean_row_nnz,"
-            "row_nnz_variance,row_nnz_cv,density,n,n_bucket,"
-            "t_crc,t_cwm2,t_cwm4,t_cwm8,best\n";
+            "row_nnz_variance,row_nnz_cv,density,dense_row_frac,"
+            "dense_nnz_frac,n,n_bucket,"
+            "t_crc,t_cwm2,t_cwm4,t_cwm8,t_hybrid,best\n";
   }
 
   for (const auto& dev : opt.devices) {
@@ -109,7 +121,7 @@ GESPMM_BENCH(plan_select) {
     // Aggregate per family for the printed table; record one predict row
     // and one sweep-cost row per (device, family) for the baseline.
     std::vector<std::string> families = {"uniform", "rmat", "grid", "block",
-                                         "citation"};
+                                         "citation", "pruned_dnn"};
     for (const auto& fam : families) {
       std::vector<double> pred_ms, best_ms, regret, sweep_ms, cold_win;
       std::uint64_t mispredicts = 0;
@@ -148,10 +160,12 @@ GESPMM_BENCH(plan_select) {
                  << cse.family << ',' << cse.a.rows << ',' << cse.a.cols << ','
                  << cse.a.nnz() << ',' << f.mean_row_nnz << ','
                  << f.row_nnz_variance << ',' << f.row_nnz_cv << ','
-                 << f.density << ',' << n << ',' << f.n_bucket << ','
+                 << f.density << ',' << f.dense_row_frac << ','
+                 << f.dense_nnz_frac << ',' << n << ',' << f.n_bucket << ','
                  << t_of(SpmmAlgo::Crc) << ',' << t_of(SpmmAlgo::CrcCwm2) << ','
                  << t_of(SpmmAlgo::CrcCwm4) << ',' << t_of(SpmmAlgo::CrcCwm8)
-                 << ',' << kernels::algo_name(exact.best) << '\n';
+                 << ',' << t_of(SpmmAlgo::HybridMma) << ','
+                 << kernels::algo_name(exact.best) << '\n';
           }
         }
       }

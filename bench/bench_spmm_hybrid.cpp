@@ -1,0 +1,126 @@
+/// Extension bench: density-partitioned hybrid execution vs the best
+/// single kernel.
+///
+/// For hybrid-favorable families (structured-block pruned-DNN, power-law
+/// R-MAT with a dense head) and a hybrid-hostile ragged family (road
+/// grid), on both simulated devices, this runs the Exact autotune sweep —
+/// which prices every CF candidate and the hybrid plan honestly — and
+/// reports, per (family, device, width):
+///  - the best single-kernel modelled time and which kernel it was,
+///  - the hybrid plan's modelled time and its dense-partition step share,
+///  - the learned selector's pick (core/plan_select through
+///    select_spmm_algo) and whether it matched the sweep's winner.
+///
+/// All recorded rows are strict modelled-time rows (wallclock=false): the
+/// baseline gate (scripts/bench_compare.py) fails on drift, so a cost-model
+/// change that silently erases the hybrid win — or un-declines the ragged
+/// family — is caught in CI.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common/registry.hpp"
+#include "core/autotune.hpp"
+#include "kernels/spmm_hybrid.hpp"
+#include "sparse/generators.hpp"
+
+using namespace gespmm;
+using bench::Table;
+
+namespace {
+
+struct Case {
+  std::string family;
+  Csr a;
+};
+
+std::vector<Case> make_cases(bool quick) {
+  std::vector<Case> cases;
+  // Dense-blocked: DLMC-style pruned-DNN weights at device-filling scale.
+  cases.push_back({"pruned_dnn_4096x256_s85",
+                   sparse::pruned_dnn(4096, 256, 16, 0.85, 11)});
+  if (!quick) {
+    cases.push_back({"pruned_dnn_2048x512_s90",
+                     sparse::pruned_dnn(2048, 512, 16, 0.90, 12)});
+  }
+  // Power-law with a dense head: hub rows clear the MMA threshold and
+  // carry most of the nnz mass.
+  cases.push_back({"rmat_dense_head",
+                   sparse::rmat(12, 24.0, 0.45, 0.22, 0.22, 14)});
+  // Ragged: no row reaches the MMA tile K-dim, hybrid is structurally not
+  // a candidate and the selector must decline it.
+  cases.push_back({"grid_road_ragged", sparse::grid_road(4096, 0.05, 15)});
+  return cases;
+}
+
+}  // namespace
+
+GESPMM_BENCH(spmm_hybrid) {
+  const auto& opt = ctx.opt;
+  const auto cases = make_cases(opt.quick);
+  const std::vector<index_t> widths = {64, 128};
+
+  for (const auto& dev : opt.devices) {
+    bench::banner("Hybrid (MMA+SIMT) vs best single kernel (device " +
+                  dev.name + ")");
+    Table table({"family", "n", "single_best", "single_ms", "hybrid_ms",
+                 "speedup", "selected", "agrees"});
+
+    for (const auto& cse : cases) {
+      const auto stats = kernels::hybrid_partition_stats(
+          cse.a, static_cast<index_t>(gpusim::MmaTileSpec{}.k));
+      for (const index_t n : widths) {
+        AutotuneOptions aopt;
+        aopt.device = dev;
+        aopt.sample_blocks = opt.sample_blocks;
+        aopt.mode = SelectionMode::Exact;
+        const AutotuneResult exact = autotune_spmm(cse.a, n, aopt);
+
+        // Best among the single-kernel candidates (the pre-hybrid optimum).
+        SpmmAlgo single_best = exact.default_choice;
+        double single_ms = exact.times_ms.at(single_best);
+        for (const auto& [algo, ms] : exact.times_ms) {
+          if (algo != SpmmAlgo::HybridMma && ms < single_ms) {
+            single_best = algo;
+            single_ms = ms;
+          }
+        }
+
+        const auto hyb_it = exact.times_ms.find(SpmmAlgo::HybridMma);
+        const bool candidate = hyb_it != exact.times_ms.end();
+        const double hybrid_ms = candidate ? hyb_it->second : 0.0;
+        const double speedup = candidate ? single_ms / hybrid_ms : 0.0;
+
+        const SpmmAlgo selected = select_spmm_algo(cse.a, n, dev);
+        const bool agrees = selected == exact.best;
+
+        table.add_row(
+            {cse.family, std::to_string(n), kernels::algo_name(single_best),
+             Table::fmt(single_ms, 4),
+             candidate ? Table::fmt(hybrid_ms, 4) : "n/a",
+             candidate ? Table::fmt(speedup) : "n/a",
+             kernels::algo_name(selected), agrees ? "yes" : "NO"});
+
+        // Strict modelled-time rows: the single-kernel optimum, the hybrid
+        // plan when it is a candidate, and what the selector actually
+        // picked (its speedup column scores selection quality: modelled
+        // time of the pick vs the sweep's best).
+        ctx.record(dev.name, cse.family, "single-best", static_cast<int>(n),
+                   single_ms, 1.0);
+        if (candidate) {
+          ctx.record(dev.name, cse.family, "hybrid", static_cast<int>(n),
+                     hybrid_ms, speedup);
+        }
+        ctx.record(dev.name, cse.family, "selected", static_cast<int>(n),
+                   exact.times_ms.at(selected),
+                   exact.times_ms.at(exact.best) / exact.times_ms.at(selected));
+      }
+      std::printf("  %s: dense_row_frac=%.3f dense_nnz_frac=%.3f\n",
+                  cse.family.c_str(), stats.dense_row_frac,
+                  stats.dense_nnz_frac);
+    }
+    table.print();
+  }
+}

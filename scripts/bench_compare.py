@@ -43,7 +43,8 @@ HARD_KEYS = ("snap_scale", "max_graphs", "sample_blocks", "quick")
 # the baseline is the proof these subsystems were measured. A required
 # bench missing from it means the baseline predates the subsystem — it
 # must be re-recorded with scripts/bench_baseline.sh in the same PR.
-REQUIRED_BENCHES = ("serve_shard", "plan_select", "serve_dynamic")
+REQUIRED_BENCHES = ("serve_shard", "plan_select", "serve_dynamic",
+                    "spmm_hybrid")
 
 
 def load(path):

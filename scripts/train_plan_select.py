@@ -31,15 +31,20 @@ FEATURES = [
     ("row_nnz_cv", "kFeatRowNnzCv"),
     ("density", "kFeatDensity"),
     ("unified_l1", "kFeatUnifiedL1"),
+    ("dense_row_frac", "kFeatDenseRowFrac"),
+    ("dense_nnz_frac", "kFeatDenseNnzFrac"),
+    ("rows", "kFeatRows"),
 ]
 
 # CSV time column -> emitted enum constant. A 0.0 time means the kernel
-# was not a candidate for that case (n <= 32 admits only Crc).
+# was not a candidate for that case (n <= 32 admits only Crc; hybrid
+# requires at least one dense row).
 ALGOS = [
     ("t_crc", "SpmmAlgo::Crc"),
     ("t_cwm2", "SpmmAlgo::CrcCwm2"),
     ("t_cwm4", "SpmmAlgo::CrcCwm4"),
     ("t_cwm8", "SpmmAlgo::CrcCwm8"),
+    ("t_hybrid", "SpmmAlgo::HybridMma"),
 ]
 
 INVALID = float("inf")

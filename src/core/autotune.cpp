@@ -2,28 +2,53 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
 #include "core/plan_select.hpp"
+#include "kernels/spmm_hybrid.hpp"
 #include "kernels/spmm_problem.hpp"
 
 namespace gespmm {
 
 AutotuneOptions::AutotuneOptions() : device(gpusim::gtx1080ti()) {}
 
-AutotuneResult autotune_spmm(const Csr& a, index_t n, const AutotuneOptions& opt) {
-  AutotuneResult res;
-  res.default_choice = kernels::select_gespmm_algo(n);
-
+std::vector<SpmmAlgo> autotune_candidates(const Csr& a, index_t n,
+                                          const gpusim::DeviceSpec& device) {
   std::vector<SpmmAlgo> candidates = {SpmmAlgo::Crc};
   if (n > gpusim::kWarpSize) {
     candidates.push_back(SpmmAlgo::CrcCwm2);
     candidates.push_back(SpmmAlgo::CrcCwm4);
     candidates.push_back(SpmmAlgo::CrcCwm8);
   }
+  const auto tile = gpusim::mma_tile_for(device);
+  const auto stats =
+      kernels::hybrid_partition_stats(a, static_cast<index_t>(tile.k));
+  if (stats.dense_row_frac > 0.0) candidates.push_back(SpmmAlgo::HybridMma);
+  return candidates;
+}
+
+SpmmAlgo select_spmm_algo(const Csr& a, index_t n,
+                          const gpusim::DeviceSpec& device) {
+  const auto candidates = autotune_candidates(a, n, device);
+  SpmmAlgo algo = predict_spmm_algo(extract_plan_features(a, n), device);
+  if (std::find(candidates.begin(), candidates.end(), algo) == candidates.end())
+    algo = kernels::select_gespmm_algo(n);
+  return algo;
+}
+
+AutotuneResult autotune_spmm(const Csr& a, index_t n, const AutotuneOptions& opt) {
+  AutotuneResult res;
+  res.default_choice = kernels::select_gespmm_algo(n);
+
+  const std::vector<SpmmAlgo> candidates = autotune_candidates(a, n, opt.device);
 
   kernels::SpmmRunOptions ro;
   ro.device = opt.device;
   ro.sample = gpusim::SamplePolicy::sampled(opt.sample_blocks);
+
+  // Per-partition detail of the hybrid candidate's pricing run, kept so the
+  // winner's step list can expose each partition's modelled time.
+  std::optional<kernels::HybridLaunchResult> hybrid_detail;
 
   // Price one candidate, memoized: the sweep and the predict/retune paths
   // share simulations through times_ms so no candidate is ever run twice.
@@ -31,7 +56,13 @@ AutotuneResult autotune_spmm(const Csr& a, index_t n, const AutotuneOptions& opt
     if (auto it = res.times_ms.find(algo); it != res.times_ms.end())
       return it->second;
     kernels::SpmmProblem p(a, n);
-    const double ms = kernels::run_spmm(algo, p, ro).time_ms();
+    double ms = 0.0;
+    if (algo == SpmmAlgo::HybridMma) {
+      hybrid_detail = kernels::run_spmm_hybrid_detailed(p, ro);
+      ms = hybrid_detail->total.time_ms();
+    } else {
+      ms = kernels::run_spmm(algo, p, ro).time_ms();
+    }
     res.times_ms[algo] = ms;
     return ms;
   };
@@ -82,6 +113,21 @@ AutotuneResult autotune_spmm(const Csr& a, index_t n, const AutotuneOptions& opt
   }
   res.gain_over_default =
       simulate(res.default_choice) / res.times_ms.at(res.best);
+
+  // Compile the winner into its row-partition step list.
+  if (res.best == SpmmAlgo::HybridMma && hybrid_detail.has_value()) {
+    const auto& d = *hybrid_detail;
+    if (d.dense_rows > 0) {
+      res.steps.push_back(PlanStep{SpmmAlgo::HybridMma, StepPipe::Mma, 0,
+                                   d.dense_rows, d.dense_ms});
+    }
+    if (d.dense_rows < a.rows) {
+      res.steps.push_back(PlanStep{SpmmAlgo::HybridMma, StepPipe::Simt,
+                                   d.dense_rows, a.rows, d.ragged_ms});
+    }
+  } else {
+    res.steps = single_step_plan(res.best, a.rows, res.times_ms.at(res.best));
+  }
   return res;
 }
 

@@ -20,8 +20,10 @@
 ///    (`retune_regret`).
 
 #include <map>
+#include <vector>
 
 #include "core/gespmm.hpp"
+#include "core/plan_step.hpp"
 
 namespace gespmm {
 
@@ -57,8 +59,25 @@ struct AutotuneOptions {
   AutotuneOptions();  // defaults to gtx1080ti
 };
 
+/// The candidate set the tuner considers for (a, n) on `device`: Crc
+/// always; the CWM variants when n > 32 (there is nothing to coarsen
+/// below one warp of columns); HybridMma when the matrix has at least one
+/// row at or above the MMA tile K-dim (an empty dense partition makes
+/// hybrid degenerate CRC plus permutation overhead — structurally not a
+/// candidate, which is how the selector "declines" ragged matrices).
+std::vector<SpmmAlgo> autotune_candidates(const Csr& a, index_t n,
+                                          const gpusim::DeviceSpec& device);
+
+/// Cheap selection with no simulation: the trained predictor
+/// (core/plan_select) clamped to autotune_candidates — exactly the choice
+/// Predict-mode autotune makes before pricing it. SpmmPlan::algo_for
+/// routes here so plan-level dispatch can never disagree with what the
+/// serving layer's cached plans predict.
+SpmmAlgo select_spmm_algo(const Csr& a, index_t n,
+                          const gpusim::DeviceSpec& device);
+
 struct AutotuneResult {
-  /// Best candidate found (one of Crc, CrcCwm2, CrcCwm4, CrcCwm8).
+  /// Best candidate found (Crc, a CrcCwm variant, or HybridMma).
   SpmmAlgo best;
   /// What the paper's fixed dispatch would pick for this N.
   SpmmAlgo default_choice;
@@ -79,6 +98,12 @@ struct AutotuneResult {
   bool retuned = false;
   /// A retune found a candidate strictly faster than the prediction.
   bool mispredicted = false;
+  /// The compiled plan: the winner's row-partition step list. Single-step
+  /// over the identity permutation for every non-hybrid winner (exact
+  /// pre-PlanStep behavior); dense-partition MMA step followed by the
+  /// ragged SIMT step when HybridMma wins. Step times sum to
+  /// times_ms.at(best).
+  std::vector<PlanStep> steps;
 };
 
 /// Tune the kernel choice for (a, n) on a device. Predict mode prices

@@ -1,6 +1,8 @@
 #include "core/plan.hpp"
 
+#include "core/autotune.hpp"
 #include "kernels/spmm_host.hpp"
+#include "kernels/spmm_hybrid.hpp"
 
 namespace gespmm {
 
@@ -17,20 +19,52 @@ void SpmmPlan::run(const DenseMatrix& b, DenseMatrix& c, ReduceKind reduce) cons
   accumulated_ms_ += time_ms(b.cols(), reduce);
 }
 
+SpmmAlgo SpmmPlan::algo_for(index_t n) const {
+  if (auto it = algo_cache_.find(n); it != algo_cache_.end()) return it->second;
+  const SpmmAlgo algo = select_spmm_algo(a_, n, device_);
+  algo_cache_[n] = algo;
+  return algo;
+}
+
+const std::vector<PlanStep>& SpmmPlan::steps_for(index_t n, ReduceKind reduce,
+                                                 std::uint64_t sample_blocks) const {
+  const auto key = std::make_pair(n, reduce);
+  if (auto it = steps_cache_.find(key); it != steps_cache_.end()) {
+    return it->second;
+  }
+  const SpmmAlgo algo = algo_for(n);
+  kernels::SpmmProblem p(a_, n);
+  kernels::SpmmRunOptions ro;
+  ro.device = device_;
+  ro.sample = gpusim::SamplePolicy::sampled(sample_blocks);
+  ro.reduce = reduce;
+
+  std::vector<PlanStep> steps;
+  if (algo == SpmmAlgo::HybridMma) {
+    const auto d = kernels::run_spmm_hybrid_detailed(p, ro);
+    if (d.dense_rows > 0) {
+      steps.push_back(PlanStep{SpmmAlgo::HybridMma, StepPipe::Mma, 0,
+                               d.dense_rows, d.dense_ms});
+    }
+    if (d.dense_rows < a_.rows) {
+      steps.push_back(PlanStep{SpmmAlgo::HybridMma, StepPipe::Simt,
+                               d.dense_rows, a_.rows, d.ragged_ms});
+    }
+  } else {
+    steps = single_step_plan(algo, a_.rows,
+                             kernels::run_spmm(algo, p, ro).time_ms());
+  }
+  profile_cache_[key] = plan_steps_time_ms(steps);
+  return steps_cache_[key] = std::move(steps);
+}
+
 double SpmmPlan::time_ms(index_t n, ReduceKind reduce,
                          std::uint64_t sample_blocks) const {
   const auto key = std::make_pair(n, reduce);
   if (auto it = profile_cache_.find(key); it != profile_cache_.end()) {
     return it->second;
   }
-  kernels::SpmmProblem p(a_, n);
-  kernels::SpmmRunOptions ro;
-  ro.device = device_;
-  ro.sample = gpusim::SamplePolicy::sampled(sample_blocks);
-  ro.reduce = reduce;
-  const double ms = kernels::run_spmm(algo_for(n), p, ro).time_ms();
-  profile_cache_[key] = ms;
-  return ms;
+  return plan_steps_time_ms(steps_for(n, reduce, sample_blocks));
 }
 
 }  // namespace gespmm

@@ -11,8 +11,10 @@
 
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "core/gespmm.hpp"
+#include "core/plan_step.hpp"
 #include "kernels/spmm_problem.hpp"
 
 namespace gespmm {
@@ -33,12 +35,24 @@ class SpmmPlan {
            ReduceKind reduce = ReduceKind::Sum) const;
 
   /// Modelled device time for width n with the adaptive kernel; simulated
-  /// once per (n, reduce) and cached.
+  /// once per (n, reduce) and cached. Sum of the compiled step times.
   double time_ms(index_t n, ReduceKind reduce = ReduceKind::Sum,
                  std::uint64_t sample_blocks = 1024) const;
 
-  /// The kernel the adaptive dispatch selects for width n.
-  SpmmAlgo algo_for(index_t n) const { return kernels::select_gespmm_algo(n); }
+  /// The kernel the adaptive dispatch selects for width n: the learned
+  /// selector clamped to the autotuner's candidate set
+  /// (core/autotune::select_spmm_algo) — the same choice Predict-mode
+  /// autotune and the serving layer's cached plans make, so plan-level
+  /// dispatch can never disagree with them. Memoized per width.
+  SpmmAlgo algo_for(index_t n) const;
+
+  /// The compiled row-partition step list for width n: a single step over
+  /// all rows for a SIMT winner, the dense-MMA + ragged-SIMT pair when the
+  /// selector picks hybrid. Step times sum to time_ms(n, reduce). Memoized
+  /// per (n, reduce); the reference stays valid for the plan's lifetime.
+  const std::vector<PlanStep>& steps_for(index_t n,
+                                         ReduceKind reduce = ReduceKind::Sum,
+                                         std::uint64_t sample_blocks = 1024) const;
 
   /// Total device time modelled so far through this plan (sum over run()
   /// calls' shapes) — a convenience for framework integration.
@@ -47,6 +61,11 @@ class SpmmPlan {
  private:
   Csr a_;
   gpusim::DeviceSpec device_;
+  /// Memoized algo_for() results, keyed by width.
+  mutable std::map<index_t, SpmmAlgo> algo_cache_;
+  /// Memoized steps_for() results, keyed by (width, reduction).
+  mutable std::map<std::pair<index_t, ReduceKind>, std::vector<PlanStep>>
+      steps_cache_;
   /// Memoized time_ms() results, keyed by (width, reduction).
   mutable std::map<std::pair<index_t, ReduceKind>, double> profile_cache_;
   mutable double accumulated_ms_ = 0.0;

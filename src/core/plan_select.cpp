@@ -3,6 +3,8 @@
 #include <bit>
 #include <cmath>
 
+#include "kernels/spmm_hybrid.hpp"
+
 namespace gespmm {
 
 std::array<std::uint64_t, kRowHistBuckets> row_length_histogram(const Csr& a) {
@@ -22,6 +24,10 @@ PlanFeatures extract_plan_features(const Csr& a, index_t n) {
   f.n = n;
   f.n_bucket = (n + gpusim::kWarpSize - 1) / gpusim::kWarpSize;
   f.row_hist = row_length_histogram(a);
+  f.mma_threshold = static_cast<index_t>(gpusim::MmaTileSpec{}.k);
+  const auto part_stats = kernels::hybrid_partition_stats(a, f.mma_threshold);
+  f.dense_row_frac = part_stats.dense_row_frac;
+  f.dense_nnz_frac = part_stats.dense_nnz_frac;
   if (a.rows > 0) {
     const double rows = static_cast<double>(a.rows);
     f.mean_row_nnz = static_cast<double>(f.nnz) / rows;
@@ -61,6 +67,13 @@ enum FeatureId : std::int16_t {
   kFeatRowNnzCv = 2,
   kFeatDensity = 3,
   kFeatUnifiedL1 = 4,
+  kFeatDenseRowFrac = 5,
+  kFeatDenseNnzFrac = 6,
+  // Matrix scale: the hybrid dense pipe runs one tile.m-row window per
+  // block, so small matrices cannot fill the device and lose on launch
+  // underfill even when every row is dense. density/mean alone cannot
+  // separate that from a large blocked matrix with the same sparsity.
+  kFeatRows = 7,
 };
 
 #include "core/plan_select_table.inc"
@@ -73,6 +86,9 @@ double feature_value(const PlanFeatures& f, const gpusim::DeviceSpec& device,
     case kFeatRowNnzCv: return f.row_nnz_cv;
     case kFeatDensity: return f.density;
     case kFeatUnifiedL1: return device.unified_l1 ? 1.0 : 0.0;
+    case kFeatDenseRowFrac: return f.dense_row_frac;
+    case kFeatDenseNnzFrac: return f.dense_nnz_frac;
+    case kFeatRows: return static_cast<double>(f.rows);
     default: return 0.0;
   }
 }

@@ -75,6 +75,17 @@ TimeBreakdown estimate_time(const DeviceSpec& dev, const LaunchConfig& cfg,
       static_cast<double>(m.smem_load_bytes + m.smem_store_bytes);
   t.smem_ms = smem_bytes / (dev.smem_bw_gbps * gb) * 1e3;
 
+  // MMA pipe: dense-tile math at the device's MMA peak, derated by its own
+  // saturation curve (the pipe fills with few resident warps — fragments
+  // are register-held and issue is regular). Counted per slot of every
+  // issued tile, so zero-padding of ragged rows inflates this term and the
+  // hybrid partitioner's threshold choice becomes visible as modelled time.
+  if (m.mma_flops > 0) {
+    const double u_mma = saturation(concurrency, dev.mma_half_saturation_warps);
+    t.mma_ms = static_cast<double>(m.mma_flops) /
+               (dev.mma_tflops * u_mma * 1e12) * 1e3;
+  }
+
   // Instruction issue.
   const double issue_rate =
       static_cast<double>(dev.num_sms) * dev.issue_width * dev.clock_ghz * 1e9;
@@ -102,6 +113,7 @@ TimeBreakdown estimate_time(const DeviceSpec& dev, const LaunchConfig& cfg,
   consider(t.l1_ms, "l1");
   consider(t.smem_ms, "smem");
   consider(t.issue_ms, "issue");
+  consider(t.mma_ms, "mma");
   consider(t.tail_ms, "tail");
 
   t.total_ms = t.launch_overhead_ms + worst;

@@ -31,6 +31,8 @@ struct TimeBreakdown {
   double l1_ms = 0.0;
   double smem_ms = 0.0;
   double issue_ms = 0.0;
+  /// Dense-tile (MMA) pipe: mma_flops against the device's mma_tflops peak.
+  double mma_ms = 0.0;
   /// Critical-path term: longest per-block load chain (load imbalance).
   double tail_ms = 0.0;
   double launch_overhead_ms = 0.0;

@@ -27,6 +27,12 @@ DeviceSpec gtx1080ti() {
   d.smem_bw_gbps = 28 * 128 * 1.481;  // ~5.3 TB/s
   d.dram_half_saturation_warps = 50.0;
   d.l2_half_saturation_warps = 50.0;
+  // Pascal has no tensor cores: dense MMA tiles execute as register-blocked
+  // FMA micro-kernels, so the MMA path peaks well below the 10.6 TFLOP/s
+  // FMA peak (operand staging steals issue slots).
+  d.tensor_cores = false;
+  d.mma_tflops = 9.0;
+  d.mma_half_saturation_warps = 8.0;
   return d;
 }
 
@@ -54,6 +60,11 @@ DeviceSpec rtx2080() {
   // count and ILP matters even more than on Pascal.
   d.dram_half_saturation_warps = 50.0;
   d.l2_half_saturation_warps = 25.0;
+  // TU104 tensor cores: ~80 TFLOP/s FP16 peak; FP32-accumulate WMMA with
+  // realistic operand staging lands near half of that.
+  d.tensor_cores = true;
+  d.mma_tflops = 40.0;
+  d.mma_half_saturation_warps = 8.0;
   return d;
 }
 

@@ -34,6 +34,19 @@ struct DeviceSpec {
   std::size_t max_smem_per_block = 48 * 1024;
   /// Warp instructions issued per SM per cycle (warp schedulers).
   double issue_width = 4.0;
+  /// Whether the part has dedicated tensor cores (Turing: yes). When false
+  /// the MMA cost path still exists — dense tiles run as register-blocked
+  /// FMA micro-kernels on the SIMT pipe — but at FMA-pipe throughput.
+  bool tensor_cores = false;
+  /// Peak throughput of the dense-tile (MMA) path in TFLOP/s. For a part
+  /// with tensor cores this is the FP16-input/FP32-accumulate WMMA peak;
+  /// without them it is the dense micro-GEMM FLOP rate the FMA pipe
+  /// sustains on staged operands.
+  double mma_tflops = 9.0;
+  /// Warps-per-SM concurrency at which the MMA pipe reaches half of peak
+  /// throughput (the pipe needs few resident warps to fill: fragments are
+  /// register-held and the issue pattern is regular).
+  double mma_half_saturation_warps = 8.0;
 
   // --- Memory hierarchy ---
   /// DRAM capacity in bytes — the budget a resident CSR operand must fit

@@ -9,5 +9,6 @@
 #include "gpusim/device_array.hpp" // IWYU pragma: export
 #include "gpusim/launch.hpp"     // IWYU pragma: export
 #include "gpusim/metrics.hpp"    // IWYU pragma: export
+#include "gpusim/mma.hpp"        // IWYU pragma: export
 #include "gpusim/types.hpp"      // IWYU pragma: export
 #include "gpusim/warp.hpp"       // IWYU pragma: export

@@ -37,6 +37,11 @@ struct LaunchMetrics {
   // Work counters.
   std::uint64_t flops = 0;
   std::uint64_t warp_instructions = 0;
+  /// FLOPs issued through the dense-tile (MMA) pipe — every slot of every
+  /// issued tile, padded or not, so zero-fill waste is visible here.
+  std::uint64_t mma_flops = 0;
+  /// Warp-level mma issues (one per tile).
+  std::uint64_t mma_instructions = 0;
   /// Longest per-block global-load instruction chain observed — feeds the
   /// cost model's critical-path (load-imbalance) term. Merged with max().
   std::uint64_t max_block_gld_instructions = 0;
@@ -60,6 +65,8 @@ struct LaunchMetrics {
     smem_store_bytes += o.smem_store_bytes;
     flops += o.flops;
     warp_instructions += o.warp_instructions;
+    mma_flops += o.mma_flops;
+    mma_instructions += o.mma_instructions;
     max_block_gld_instructions =
         std::max(max_block_gld_instructions, o.max_block_gld_instructions);
     return *this;
@@ -83,6 +90,8 @@ struct LaunchMetrics {
     s(smem_store_bytes);
     s(flops);
     s(warp_instructions);
+    s(mma_flops);
+    s(mma_instructions);
   }
 
   std::uint64_t gld_bytes(int transaction_bytes = 32) const {

@@ -1,0 +1,51 @@
+#pragma once
+/// \file mma.hpp
+/// Tensor-core (MMA pipe) execution model.
+///
+/// The hybrid SpMM path (kernels/spmm_hybrid) routes dense-ish row windows
+/// to warp-level dense-tile multiply-accumulates, HC-SpMM style. This
+/// header defines the tile geometry that model is built around:
+///
+///  - a warp-level mma consumes an m x k A-fragment and a k x n B-fragment
+///    and accumulates an m x n C-fragment — the WMMA 16x16x16 shape on
+///    Turing, and the same register-blocked shape emulated on the FMA pipe
+///    on Pascal (which has no tensor cores);
+///  - operands are staged through shared memory (the fragment build is
+///    accounted as smem traffic by the kernels that issue mma);
+///  - issued tile math is counted in LaunchMetrics::mma_flops and priced
+///    by the cost model's MMA-pipe term against DeviceSpec::mma_tflops,
+///    so zero-padding waste (ragged rows packed into dense tiles) shows up
+///    as modelled time instead of being hidden.
+///
+/// The K dimension doubles as the hybrid partition threshold: a row with
+/// at least `k` nonzeros fills one A-fragment row slice and is worth
+/// routing to the MMA pipe (see kernels::partition_rows_by_density).
+
+#include "gpusim/device.hpp"
+
+namespace gespmm::gpusim {
+
+/// Dense fragment shape one warp-level mma consumes.
+struct MmaTileSpec {
+  int m = 16;  ///< C-fragment rows (rows per hybrid row window).
+  int n = 16;  ///< C-fragment columns covered per issue.
+  int k = 16;  ///< Reduction slice length — the hybrid density threshold.
+
+  /// FLOPs one issue performs (every slot, padded or not: the hardware
+  /// computes the full tile).
+  std::uint64_t flops() const {
+    return 2ull * static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n) *
+           static_cast<std::uint64_t>(k);
+  }
+};
+
+/// The tile shape the device's MMA path executes. Both presets use the
+/// WMMA 16x16x16 shape; on a device without tensor cores
+/// (DeviceSpec::tensor_cores == false) the same tile is a register-blocked
+/// FMA micro-kernel, priced by the lower mma_tflops of the preset.
+inline MmaTileSpec mma_tile_for(const DeviceSpec& dev) {
+  (void)dev;  // one shape for the modelled parts; throughput differs.
+  return MmaTileSpec{};
+}
+
+}  // namespace gespmm::gpusim

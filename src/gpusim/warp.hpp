@@ -243,6 +243,20 @@ class WarpCtx {
     rt_->metrics.flops += 2 * n_lanes;
     count_inst(1);
   }
+
+  /// Warp-level dense-tile multiply-accumulate (the MMA pipe): one issue
+  /// computing an m x n x k tile, 2*m*n*k FLOPs regardless of how many
+  /// slots hold real data — padding waste is charged at full price. The
+  /// actual values move through the issuing kernel's own arithmetic (the
+  /// "values move for real, accounting models the hardware" convention,
+  /// cf. st_accounting); this call is the accounting event.
+  void mma_tile(int m, int n, int k) {
+    rt_->metrics.mma_flops += 2ull * static_cast<std::uint64_t>(m) *
+                              static_cast<std::uint64_t>(n) *
+                              static_cast<std::uint64_t>(k);
+    ++rt_->metrics.mma_instructions;
+    ++rt_->metrics.warp_instructions;
+  }
   void count_flops(std::uint64_t n) { rt_->metrics.flops += n; }
   /// Arithmetic/control warp instructions not otherwise counted (loop
   /// increments, compares, address math).

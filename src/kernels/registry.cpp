@@ -8,6 +8,7 @@
 #include "kernels/spmm_csrmm2.hpp"
 #include "kernels/spmm_dgl_fallback.hpp"
 #include "kernels/spmm_gunrock.hpp"
+#include "kernels/spmm_hybrid.hpp"
 #include "kernels/spmm_mergesplit.hpp"
 #include "kernels/spmm_naive.hpp"
 #include "kernels/spmm_rowsplit.hpp"
@@ -32,6 +33,7 @@ const char* algo_name(SpmmAlgo a) {
     case SpmmAlgo::Gunrock: return "advance(gunrock)";
     case SpmmAlgo::DglFallback: return "dgl-fallback";
     case SpmmAlgo::Aspt: return "aspt";
+    case SpmmAlgo::HybridMma: return "hybrid(mma+simt)";
   }
   return "?";
 }
@@ -162,6 +164,7 @@ gpusim::LaunchResult run_spmm(SpmmAlgo algo, SpmmProblem& p, const SpmmRunOption
       throw std::invalid_argument(
           "run_spmm(Aspt): use run_spmm_aspt with a prebuilt AsptDevice "
           "(preprocessing is a separate, charged step)");
+    case SpmmAlgo::HybridMma: return run_spmm_hybrid(p, opt);
   }
   throw std::invalid_argument("unknown SpmmAlgo");
 }

@@ -29,6 +29,8 @@ enum class SpmmAlgo {
   Gunrock,     ///< graph-engine advance (edge-parallel, sum only)
   DglFallback, ///< DGL's scalar SpMM-like fallback kernel
   Aspt,        ///< ASpT tiled kernel (sum only; preprocess charged separately)
+  HybridMma,   ///< Density-partitioned hybrid: dense rows on the MMA pipe,
+               ///< ragged rows on CRC (spmm_hybrid.hpp)
 };
 
 const char* algo_name(SpmmAlgo a);

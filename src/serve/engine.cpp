@@ -567,6 +567,7 @@ EngineStats Engine::stats() const {
   st.plan_exact_builds = ps.exact_builds;
   st.plan_retunes = ps.retunes;
   st.plan_mispredicts = ps.mispredicts;
+  st.plan_hybrid_builds = ps.hybrid_builds;
   st.plan_invalidations = ps.invalidations;
   return st;
 }
@@ -729,6 +730,7 @@ void Engine::execute_batch(std::vector<std::shared_ptr<detail::RequestState>> ba
     res.priority = r->priority;
     res.tenant = r->tenant_name;
     res.algo = plan->algo;
+    res.plan_steps = plan->steps;
     res.device = dev.name;
     res.modelled_ms = plan->modelled_ms * n_r / total_n;
     res.completed_at_ms = completed_at;
@@ -764,6 +766,7 @@ void Engine::execute_sharded_batch(
   std::vector<bool> shard_hit(static_cast<std::size_t>(num_shards), false);
   double gather_total_ms = 0.0;
   SpmmAlgo algo0 = SpmmAlgo::GeSpMM;
+  std::vector<PlanStep> steps0;
   bool all_hit = true;
   for (int si = 0; si < num_shards; ++si) {
     const GraphShard& shard = plan.shards[static_cast<std::size_t>(si)];
@@ -772,7 +775,10 @@ void Engine::execute_sharded_batch(
     const PlanLease lease = plan_cache_.acquire(key, shard.csr, dev);
     shard_hit[static_cast<std::size_t>(si)] = lease.hit();
     all_hit = all_hit && lease.hit();
-    if (si == 0) algo0 = lease->algo;
+    if (si == 0) {
+      algo0 = lease->algo;
+      steps0 = lease->steps;
+    }
 
     // Merge: the shard's rows land directly in their slice of the full
     // output. Row-parallel SpMM makes this bitwise identical to the
@@ -853,6 +859,7 @@ void Engine::execute_sharded_batch(
     res.priority = r->priority;
     res.tenant = r->tenant_name;
     res.algo = algo0;
+    res.plan_steps = steps0;
     res.device = opt_.devices.front().name;
     res.modelled_ms = makespan_ms * n_r / total_n;
     res.completed_at_ms = completed_at;
@@ -883,6 +890,7 @@ void Engine::execute_model(std::shared_ptr<detail::RequestState> state,
   std::uint64_t layer_misses = 0;
   double build_total_ms = 0.0;
   SpmmAlgo algo = SpmmAlgo::GeSpMM;
+  std::vector<PlanStep> last_steps;
   for (std::size_t l = 0; l < m.plan.layers.size(); ++l) {
     const LayerStep& s = m.plan.layers[l];
     // Per-layer plan reuse: the aggregation keys into the same PlanCache
@@ -894,6 +902,7 @@ void Engine::execute_model(std::shared_ptr<detail::RequestState> state,
     (lease.hit() ? layer_hits : layer_misses) += 1;
     if (!lease.hit()) build_total_ms += lease->build_ms;
     algo = lease->algo;
+    last_steps = lease->steps;
     const LayerCost lc = price_layer(s, a.rows, lease->modelled_ms, cost);
     fused_ms += lc.fused_ms;
     composed_ms += lc.composed_ms;
@@ -941,6 +950,7 @@ void Engine::execute_model(std::shared_ptr<detail::RequestState> state,
   res.tenant = state->tenant_name;
   res.c = std::move(h);
   res.algo = algo;
+  res.plan_steps = std::move(last_steps);
   res.device = dev.name;
   res.modelled_ms = fused_ms;
   res.composed_ms = composed_ms;

@@ -221,6 +221,13 @@ struct RequestResult {
   /// Kernel the serving plan selected for the *batch* this request rode
   /// in (shard 0's plan for a sharded graph).
   SpmmAlgo algo = SpmmAlgo::GeSpMM;
+  /// The row-partition step list of that plan (shard 0's for a sharded
+  /// graph, the last layer's for a model request): one step for a
+  /// single-kernel plan, the dense-MMA + ragged-SIMT pair when the plan
+  /// compiled to density-partitioned hybrid execution. Step times sum to
+  /// the plan's modelled time (before batching/width proration). Empty
+  /// for a shed request.
+  std::vector<PlanStep> plan_steps;
   /// Device preset name the batch was dispatched to (the first shard
   /// device for a sharded graph — see `shards`).
   std::string device;
@@ -447,6 +454,9 @@ struct EngineStats {
   std::uint64_t plan_exact_builds = 0;
   std::uint64_t plan_retunes = 0;
   std::uint64_t plan_mispredicts = 0;
+  /// Fresh plan builds that compiled to a multi-step (density-partitioned
+  /// hybrid) plan — mirrored from PlanCacheStats::hybrid_builds.
+  std::uint64_t plan_hybrid_builds = 0;
   /// Total modelled device time across all batches (ms) — the serving
   /// cost metric bench_serve_throughput compares across policies. Equals
   /// the sum of the per-device clocks; concurrent-device wall time is the

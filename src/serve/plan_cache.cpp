@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "kernels/registry.hpp"
+#include "kernels/spmm_hybrid.hpp"
 #include "kernels/spmm_problem.hpp"
 
 namespace gespmm::serve {
@@ -49,6 +50,7 @@ std::shared_ptr<CachedPlan> PlanCache::build(const PlanKey& key, const Csr& a,
     const AutotuneResult res = autotune_spmm(a, key.n, aopt);
     plan->algo = res.best;
     plan->modelled_ms = res.times_ms.at(res.best);
+    plan->steps = res.steps;
     plan->autotuned = true;
     plan->gain_over_default = res.gain_over_default;
     plan->build_ms = res.build_ms;
@@ -56,18 +58,39 @@ std::shared_ptr<CachedPlan> PlanCache::build(const PlanKey& key, const Csr& a,
     plan->retuned = res.retuned;
     plan->mispredicted = res.mispredicted;
   } else {
-    plan->algo = kernels::select_gespmm_algo(key.n);
+    // Non-sum reductions (and autotune=false) skip the tuner sweep but a
+    // tuning-enabled cache still routes them through the learned selector
+    // so hybrid partitioning stays available for every semiring (the
+    // hybrid kernel folds in CSR order, bitwise identical under all of
+    // them). autotune=false pins the paper's fixed Fig. 7(c) rule.
+    plan->algo = opt_.autotune ? select_spmm_algo(a, key.n, device)
+                               : kernels::select_gespmm_algo(key.n);
     kernels::SpmmProblem p(a, key.n);
     kernels::SpmmRunOptions ro;
     ro.device = device;
     ro.sample = gpusim::SamplePolicy::sampled(opt_.sample_blocks);
     ro.reduce = key.reduce;
-    plan->modelled_ms = kernels::run_spmm(plan->algo, p, ro).time_ms();
+    if (plan->algo == SpmmAlgo::HybridMma) {
+      const auto d = kernels::run_spmm_hybrid_detailed(p, ro);
+      if (d.dense_rows > 0) {
+        plan->steps.push_back(PlanStep{SpmmAlgo::HybridMma, StepPipe::Mma, 0,
+                                       d.dense_rows, d.dense_ms});
+      }
+      if (d.dense_rows < a.rows) {
+        plan->steps.push_back(PlanStep{SpmmAlgo::HybridMma, StepPipe::Simt,
+                                       d.dense_rows, a.rows, d.ragged_ms});
+      }
+      plan->modelled_ms = plan_steps_time_ms(plan->steps);
+    } else {
+      plan->modelled_ms = kernels::run_spmm(plan->algo, p, ro).time_ms();
+      plan->steps = single_step_plan(plan->algo, a.rows, plan->modelled_ms);
+    }
   }
   return plan;
 }
 
 void PlanCache::note_build(const CachedPlan& plan) {
+  if (plan.steps.size() > 1) ++hybrid_builds_;
   if (!plan.autotuned) return;  // fixed-rule builds have no selection story
   if (plan.predicted && !plan.retuned) {
     ++predicted_builds_;
@@ -196,6 +219,7 @@ PlanCacheStats PlanCache::stats() const {
   st.exact_builds = exact_builds_;
   st.retunes = retunes_;
   st.mispredicts = mispredicts_;
+  st.hybrid_builds = hybrid_builds_;
   st.duplicate_builds = duplicate_builds_;
   st.invalidations = invalidations_;
   st.size = plans_.size();

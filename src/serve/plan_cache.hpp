@@ -56,13 +56,25 @@ struct PlanKey {
 
 /// An immutable, cached algorithm-selection result.
 struct CachedPlan {
-  /// Kernel the engine will account this shape against.
+  /// Kernel the engine will account this shape against. HybridMma when
+  /// the plan is partitioned (see `steps`).
   SpmmAlgo algo = SpmmAlgo::GeSpMM;
   /// Block-sampled modelled device time for one SpMM at this shape (ms).
+  /// Always equals the sum of the step times in `steps`.
   double modelled_ms = 0.0;
-  /// Whether `algo` came from the CF tuner (sum reductions) or the
-  /// paper's fixed Fig. 7(c) rule (non-sum reductions are not tuned: the
-  /// tuner's candidate sweep is calibrated for the standard semiring).
+  /// The compiled row-partition step list this plan executes: one step
+  /// over all rows for a single-kernel winner, the dense-MMA +
+  /// ragged-SIMT pair when selection picks the density-partitioned
+  /// hybrid. The step list is a *deterministic function of the PlanKey*
+  /// (the partition depends only on the graph content the fingerprint
+  /// hashes and on the device's MMA tile), so the key does not need to
+  /// carry it — two caches building the same key always compile the same
+  /// steps.
+  std::vector<PlanStep> steps;
+  /// Whether `algo` came from the CF tuner (sum reductions). Non-sum
+  /// reductions skip the candidate sweep (it is calibrated for the
+  /// standard semiring) but still route through the learned selector, so
+  /// they can pick the hybrid partition too.
   bool autotuned = false;
   /// time(fixed rule) / time(algo); 1.0 when the fixed rule was optimal.
   double gain_over_default = 1.0;
@@ -139,6 +151,10 @@ struct PlanCacheStats {
   /// refinement hook's mispredict counter.
   std::uint64_t retunes = 0;
   std::uint64_t mispredicts = 0;
+  /// Builds that compiled to a multi-step (density-partitioned hybrid)
+  /// plan — counted for every fresh build whatever the reduction, so the
+  /// serving layer can observe how often partitioned execution wins.
+  std::uint64_t hybrid_builds = 0;
   /// Builds discarded because a racer inserted the same key first. These
   /// count in neither the selection counters above nor `inserts` — the
   /// winning build already covered both — so the miss ledger reconciles:
@@ -271,6 +287,7 @@ class PlanCache {
   std::uint64_t exact_builds_ = 0;
   std::uint64_t retunes_ = 0;
   std::uint64_t mispredicts_ = 0;
+  std::uint64_t hybrid_builds_ = 0;
   std::uint64_t duplicate_builds_ = 0;
   std::uint64_t invalidations_ = 0;
   std::size_t peak_size_ = 0;

@@ -123,4 +123,36 @@ Csr citation_graph(index_t vertices, std::int64_t edges, std::uint64_t seed) {
   return m;
 }
 
+Csr pruned_dnn(index_t rows, index_t cols, index_t block, double sparsity,
+               std::uint64_t seed) {
+  if (block < 1) throw std::runtime_error("pruned_dnn: block must be >= 1");
+  if (!(sparsity >= 0.0 && sparsity <= 1.0)) {
+    throw std::runtime_error("pruned_dnn: sparsity must be in [0, 1]");
+  }
+  SplitMix64 rng(seed);
+  Coo coo;
+  coo.rows = rows;
+  coo.cols = cols;
+  const index_t tile_rows = (rows + block - 1) / block;
+  const index_t tile_cols = (cols + block - 1) / block;
+  for (index_t tr = 0; tr < tile_rows; ++tr) {
+    for (index_t tc = 0; tc < tile_cols; ++tc) {
+      // One keep/drop draw per tile regardless of outcome, so the kept
+      // pattern of early tiles is independent of later shape parameters.
+      const bool keep = rng.next_double() >= sparsity;
+      if (!keep) continue;
+      const index_t r_end = std::min(rows, (tr + 1) * block);
+      const index_t c_end = std::min(cols, (tc + 1) * block);
+      for (index_t r = tr * block; r < r_end; ++r) {
+        for (index_t c = tc * block; c < c_end; ++c) {
+          coo.push(r, c, rng.next_float(0.25f, 1.0f));
+        }
+      }
+    }
+  }
+  Csr m = coo_to_csr(coo);
+  for (auto& v : m.val) v = 0.25f + std::fmod(v, 0.75f);
+  return m;
+}
+
 }  // namespace gespmm::sparse

@@ -32,4 +32,18 @@ Csr grid_road(index_t n_approx, double shortcut_fraction, std::uint64_t seed);
 /// out-edges per new vertex, yielding mild skew like Cora/Citeseer/Pubmed.
 Csr citation_graph(index_t vertices, std::int64_t edges, std::uint64_t seed);
 
+/// Structured-block pruned-DNN weight matrix (DLMC-style): the rows x cols
+/// shape is tiled into `block` x `block` tiles, each tile kept (fully
+/// dense) independently with probability 1 - sparsity, so the surviving
+/// nonzeros cluster into dense blocks — the structure magnitude/block
+/// pruning leaves in transformer and CNN weights. `sparsity` is the
+/// target fraction of *zero* entries (DLMC ships 0.70-0.98); kept-tile
+/// values are uniform in [0.25, 1). Rows inside a kept tile have >= block
+/// consecutive nonzeros sharing their column range, which is exactly the
+/// shape the density-partitioned hybrid kernel's tile-window column
+/// unions exploit. Throws std::runtime_error for block < 1 or sparsity
+/// outside [0, 1].
+Csr pruned_dnn(index_t rows, index_t cols, index_t block, double sparsity,
+               std::uint64_t seed);
+
 }  // namespace gespmm::sparse

@@ -1,0 +1,165 @@
+/// Tensor-core (MMA) execution model goldens: the WMMA tile spec, warp-
+/// level mma accounting, the cost model's dense-pipe bottleneck term with
+/// its saturation curve, and the ordering between the emulated-FMA Pascal
+/// pipe and the Turing tensor cores.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/gpusim.hpp"
+
+namespace gespmm::gpusim {
+namespace {
+
+/// Toy kernel: one warp per block issuing `tiles` full mma tiles and
+/// nothing else — fully predictable dense-pipe metrics.
+class MmaToyKernel final : public Kernel {
+ public:
+  MmaToyKernel(long long grid, int tiles) : grid_(grid), tiles_(tiles) {}
+
+  LaunchConfig config(const DeviceSpec&) const override {
+    LaunchConfig cfg;
+    cfg.grid = grid_;
+    cfg.block = 32;
+    return cfg;
+  }
+  std::string name() const override { return "mma_toy"; }
+
+  void run_block(BlockCtx& blk) const override {
+    WarpCtx warp = blk.warp(0);
+    const MmaTileSpec tile;
+    for (int t = 0; t < tiles_; ++t) warp.mma_tile(tile.m, tile.n, tile.k);
+  }
+
+ private:
+  long long grid_;
+  int tiles_;
+};
+
+TEST(MmaTile, DefaultSpecIsTheWmmaShape) {
+  const MmaTileSpec t;
+  EXPECT_EQ(t.m, 16);
+  EXPECT_EQ(t.n, 16);
+  EXPECT_EQ(t.k, 16);
+  EXPECT_EQ(t.flops(), 2 * 16 * 16 * 16);
+}
+
+TEST(MmaTile, TileForIsStableAcrossDevices) {
+  // The tile shape is an ISA contract, not a throughput knob: both presets
+  // use the 16x16x16 WMMA shape (Pascal emulates it through the FMA pipe)
+  // so the hybrid partition threshold never moves between devices.
+  for (const auto& dev : {gtx1080ti(), rtx2080()}) {
+    const MmaTileSpec t = mma_tile_for(dev);
+    EXPECT_EQ(t.m, 16) << dev.name;
+    EXPECT_EQ(t.n, 16) << dev.name;
+    EXPECT_EQ(t.k, 16) << dev.name;
+  }
+}
+
+TEST(MmaDevice, PresetPipesMatchTheHardwareStory) {
+  const auto pascal = gtx1080ti();
+  EXPECT_FALSE(pascal.tensor_cores);
+  EXPECT_DOUBLE_EQ(pascal.mma_tflops, 9.0);
+  const auto turing = rtx2080();
+  EXPECT_TRUE(turing.tensor_cores);
+  EXPECT_DOUBLE_EQ(turing.mma_tflops, 40.0);
+  EXPECT_GT(turing.mma_tflops, pascal.mma_tflops)
+      << "tensor cores must outrate the emulated FMA micro-kernel";
+  EXPECT_LT(pascal.mma_tflops, 10.6)
+      << "an emulated dense micro-GEMM cannot beat Pascal's FMA peak";
+}
+
+TEST(MmaMetrics, WarpTileAccountingGoldens) {
+  MmaToyKernel k(/*grid=*/8, /*tiles=*/5);
+  const auto r = launch(rtx2080(), k);
+  EXPECT_EQ(r.metrics.mma_instructions, 8u * 5);
+  EXPECT_EQ(r.metrics.mma_flops, 8u * 5 * 2 * 16 * 16 * 16);
+  // Every mma issues exactly one warp instruction alongside its flops.
+  EXPECT_EQ(r.metrics.warp_instructions, 8u * 5);
+}
+
+TEST(MmaMetrics, SampledLaunchExtrapolatesExactlyOnUniformGrid) {
+  MmaToyKernel k(/*grid=*/4096, /*tiles=*/3);
+  const auto full = launch(rtx2080(), k, SamplePolicy::full());
+  const auto sampled = launch(rtx2080(), k, SamplePolicy::sampled(256));
+  EXPECT_GT(sampled.metrics.sample_scale, 1.0);
+  EXPECT_EQ(sampled.metrics.mma_flops, full.metrics.mma_flops);
+  EXPECT_EQ(sampled.metrics.mma_instructions, full.metrics.mma_instructions);
+}
+
+TEST(MmaCostModel, TermMatchesClosedFormOnBothDevices) {
+  for (const auto& dev : {gtx1080ti(), rtx2080()}) {
+    LaunchConfig cfg;
+    cfg.grid = 100000;
+    cfg.block = 256;
+    const auto occ = compute_occupancy(dev, cfg);
+    LaunchMetrics m;
+    m.mma_flops = 1'000'000'000;
+    const auto t = estimate_time(dev, cfg, m, occ);
+    const double u =
+        t.concurrency / (t.concurrency + dev.mma_half_saturation_warps);
+    EXPECT_DOUBLE_EQ(t.mma_ms, 1e9 / (dev.mma_tflops * u * 1e12) * 1e3)
+        << dev.name;
+    EXPECT_STREQ(t.bottleneck, "mma") << dev.name;
+  }
+}
+
+TEST(MmaCostModel, ZeroMmaWorkKeepsTheTermZero) {
+  const auto dev = rtx2080();
+  LaunchConfig cfg;
+  cfg.grid = 10000;
+  cfg.block = 256;
+  LaunchMetrics m;
+  m.dram_transactions = 1'000'000;
+  const auto t = estimate_time(dev, cfg, m, compute_occupancy(dev, cfg));
+  EXPECT_DOUBLE_EQ(t.mma_ms, 0.0);
+  EXPECT_STRNE(t.bottleneck, "mma");
+}
+
+TEST(MmaCostModel, TimeScalesLinearlyWithMmaWork) {
+  const auto dev = rtx2080();
+  LaunchConfig cfg;
+  cfg.grid = 100000;
+  cfg.block = 256;
+  const auto occ = compute_occupancy(dev, cfg);
+  LaunchMetrics m;
+  m.mma_flops = 500'000'000;
+  const auto t1 = estimate_time(dev, cfg, m, occ);
+  m.mma_flops = 1'000'000'000;
+  const auto t2 = estimate_time(dev, cfg, m, occ);
+  EXPECT_NEAR(t2.mma_ms / t1.mma_ms, 2.0, 1e-12);
+}
+
+TEST(MmaCostModel, TensorCoresOutpaceEmulatedFmaPerFlop) {
+  // Same dense work, same launch shape: the Turing tensor-core pipe must
+  // price it faster than Pascal's emulated micro-GEMM — the asymmetry the
+  // hybrid plan selector learns per device.
+  LaunchConfig cfg;
+  cfg.grid = 100000;
+  cfg.block = 256;
+  LaunchMetrics m;
+  m.mma_flops = 2'000'000'000;
+  const auto pascal =
+      estimate_time(gtx1080ti(), cfg, m, compute_occupancy(gtx1080ti(), cfg));
+  const auto turing =
+      estimate_time(rtx2080(), cfg, m, compute_occupancy(rtx2080(), cfg));
+  EXPECT_GT(pascal.mma_ms, turing.mma_ms);
+}
+
+TEST(MmaCostModel, SaturationDeratesUnderfilledLaunches) {
+  const auto dev = rtx2080();
+  LaunchMetrics m;
+  m.mma_flops = 1'000'000'000;
+  LaunchConfig small;
+  small.grid = 4;
+  small.block = 32;
+  LaunchConfig big;
+  big.grid = 100000;
+  big.block = 256;
+  const auto t_small = estimate_time(dev, small, m, compute_occupancy(dev, small));
+  const auto t_big = estimate_time(dev, big, m, compute_occupancy(dev, big));
+  EXPECT_GT(t_small.mma_ms, t_big.mma_ms)
+      << "a launch that cannot fill the MMA pipe must not reach peak";
+}
+
+}  // namespace
+}  // namespace gespmm::gpusim

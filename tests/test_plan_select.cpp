@@ -174,17 +174,14 @@ AutotuneOptions tune_opts(SelectionMode mode, const gpusim::DeviceSpec& dev,
   return opt;
 }
 
-/// The pre-SelectionMode tuner, replicated verbatim: the Exact path must
-/// reproduce it bitwise (same simulations, same tie-breaks).
+/// The tuner's exhaustive sweep, replicated verbatim over the same
+/// candidate set: the Exact path must reproduce it bitwise (same
+/// simulations, same tie-breaks). `run_spmm` dispatches HybridMma to the
+/// hybrid kernel, so the reference prices it the same way the tuner does.
 AutotuneResult legacy_sweep(const Csr& a, index_t n, const AutotuneOptions& opt) {
   AutotuneResult res;
   res.default_choice = kernels::select_gespmm_algo(n);
-  std::vector<SpmmAlgo> candidates = {SpmmAlgo::Crc};
-  if (n > gpusim::kWarpSize) {
-    candidates.push_back(SpmmAlgo::CrcCwm2);
-    candidates.push_back(SpmmAlgo::CrcCwm4);
-    candidates.push_back(SpmmAlgo::CrcCwm8);
-  }
+  const std::vector<SpmmAlgo> candidates = autotune_candidates(a, n, opt.device);
   kernels::SpmmRunOptions ro;
   ro.device = opt.device;
   ro.sample = gpusim::SamplePolicy::sampled(opt.sample_blocks);
@@ -260,7 +257,8 @@ TEST(Autotune, RetuneEscalatesToSweepAndFlagsMispredicts) {
       autotune_spmm(a, 128, tune_opts(SelectionMode::Predict, dev, 0.5));
   EXPECT_TRUE(verified.predicted);
   EXPECT_TRUE(verified.retuned);
-  EXPECT_EQ(verified.times_ms.size(), 4u) << "escalation prices every candidate";
+  EXPECT_EQ(verified.times_ms.size(), autotune_candidates(a, 128, dev).size())
+      << "escalation prices every candidate";
 
   const AutotuneResult exact =
       autotune_spmm(a, 128, tune_opts(SelectionMode::Exact, dev));
